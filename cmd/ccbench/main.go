@@ -1,0 +1,121 @@
+// Command ccbench regenerates the paper's tables and figures on the
+// simulated GPU and prints them as a plain-text report. It is the
+// command-line face of the internal/experiments harness; the testing.B
+// benchmarks at the repository root wrap the same functions.
+//
+// Usage:
+//
+//	ccbench [-config volta|small] [-scale quick|full] [-seed N] [-only fig10,table2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/experiments"
+)
+
+func main() {
+	cfgName := flag.String("config", "volta", "GPU configuration: volta or small")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 1, "deterministic seed for all noise sources")
+	only := flag.String("only", "", "comma-separated subset of experiments (e.g. fig10,table2)")
+	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	flag.Parse()
+
+	var cfg config.Config
+	switch *cfgName {
+	case "volta":
+		cfg = config.Volta()
+	case "small":
+		cfg = config.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "ccbench: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	opt := experiments.Options{Seed: *seed}
+	switch *scaleName {
+	case "quick":
+		opt.Scale = experiments.Quick
+	case "full":
+		opt.Scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "ccbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	type runner struct {
+		id  string
+		run func() (*experiments.Figure, error)
+	}
+	refs := []int{0}
+	if cfg.NumTPCs() > 5 {
+		refs = append(refs, 5)
+	}
+	runners := []runner{
+		{"table1", func() (*experiments.Figure, error) { return experiments.Table1(&cfg), nil }},
+		{"fig2", func() (*experiments.Figure, error) { return experiments.Fig2(&cfg, opt) }},
+		{"fig3", func() (*experiments.Figure, error) { return experiments.Fig3(&cfg, refs, opt) }},
+		{"fig4", func() (*experiments.Figure, error) { return experiments.Fig4(&cfg, opt) }},
+		{"fig5", func() (*experiments.Figure, error) { return experiments.Fig5(&cfg, opt) }},
+		{"fig6", func() (*experiments.Figure, error) { return experiments.Fig6(&cfg, opt) }},
+		{"fig8", func() (*experiments.Figure, error) { return experiments.Fig8(&cfg, opt) }},
+		{"fig9", func() (*experiments.Figure, error) { return experiments.Fig9(&cfg, opt) }},
+		{"fig10", func() (*experiments.Figure, error) { return experiments.Fig10(&cfg, opt) }},
+		{"fig11", func() (*experiments.Figure, error) { return experiments.Fig11(&cfg, opt) }},
+		{"fig13", func() (*experiments.Figure, error) { return experiments.Fig13(&cfg, opt) }},
+		{"fig14", func() (*experiments.Figure, error) { return experiments.Fig14(&cfg, opt) }},
+		{"fig15", func() (*experiments.Figure, error) { return experiments.Fig15(&cfg, opt) }},
+		{"srr-defeat", func() (*experiments.Figure, error) { return experiments.SRRChannelDefeat(&cfg, opt) }},
+		{"srr-tradeoff", func() (*experiments.Figure, error) { return experiments.SRRTradeoff(&cfg, opt) }},
+		{"mps", func() (*experiments.Figure, error) { return experiments.MPSOverhead(&cfg, opt) }},
+		{"noise", func() (*experiments.Figure, error) { return experiments.NoiseExperiment(&cfg, opt) }},
+		{"ablation-warps", func() (*experiments.Figure, error) { return experiments.SenderWarpsAblation(&cfg, opt) }},
+		{"ablation-slot", func() (*experiments.Figure, error) { return experiments.SlotAblation(&cfg, opt) }},
+		{"ablation-speedup", func() (*experiments.Figure, error) { return experiments.SpeedupAblation(&cfg, opt) }},
+		{"clock-fuzz", func() (*experiments.Figure, error) { return experiments.ClockFuzzExperiment(&cfg, opt) }},
+		{"side-channel", func() (*experiments.Figure, error) { return experiments.SideChannelExperiment(&cfg, opt) }},
+		{"table2", func() (*experiments.Figure, error) {
+			f, _, err := experiments.Table2(&cfg, opt)
+			return f, err
+		}},
+	}
+
+	fmt.Printf("gpunoc ccbench: config=%s scale=%s seed=%d\n\n", cfg.Name, *scaleName, *seed)
+	failed := false
+	for _, r := range runners {
+		if !want(r.id) {
+			continue
+		}
+		f, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %s failed: %v\n", r.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(f.Render())
+		if *csvDir != "" {
+			path := fmt.Sprintf("%s/%s.csv", *csvDir, f.ID)
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", path, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

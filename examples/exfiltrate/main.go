@@ -1,0 +1,105 @@
+// A full exfiltration scenario per the paper's threat model (§2.2): a trojan
+// kernel holding a 128-bit key leaks it to a co-located spy kernel through
+// the GPC interconnect channel, framed with a length byte and a parity
+// checksum so the spy can verify integrity.
+//
+//	go run ./examples/exfiltrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpunoc"
+)
+
+func frame(payload []byte) []byte {
+	out := []byte{byte(len(payload))}
+	out = append(out, payload...)
+	var parity byte
+	for _, b := range payload {
+		parity ^= b
+	}
+	return append(out, parity)
+}
+
+func unframe(raw []byte) ([]byte, error) {
+	if len(raw) < 2 {
+		return nil, fmt.Errorf("frame too short")
+	}
+	n := int(raw[0])
+	if len(raw) < n+2 {
+		return nil, fmt.Errorf("truncated frame (%d < %d)", len(raw), n+2)
+	}
+	payload := raw[1 : 1+n]
+	var parity byte
+	for _, b := range payload {
+		parity ^= b
+	}
+	if parity != raw[1+n] {
+		return nil, fmt.Errorf("parity mismatch: key corrupted in transit")
+	}
+	return payload, nil
+}
+
+func main() {
+	cfg := gpunoc.VoltaConfig()
+	key := []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+
+	// The GPC channel works even when the trojan and spy cannot share a
+	// TPC (§4.5). Using all six GPCs in parallel maximizes bandwidth but
+	// carries the paper's ~3%% cross-GPC noise floor; for an
+	// integrity-critical 128-bit key the attacker instead uses a single
+	// GPC channel (near-zero error, ~500 kbps) and verifies the parity
+	// frame, retransmitting on corruption.
+	framed := frame(key)
+	payload, err := gpunoc.BytesToSymbols(framed, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var recovered []byte
+	for attempt, iters := 1, 4; attempt <= 3; attempt, iters = attempt+1, iters+1 {
+		params, err := gpunoc.Calibrate(&cfg, gpunoc.ChannelParams{
+			Kind: gpunoc.GPCChannel, Iterations: iters, SyncPeriod: 16,
+			Seed: int64(12 * attempt),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := gpunoc.NewGPCTransmission(&cfg, payload, []int{0}, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attempt %d (%d iterations/bit): %d framed bytes over GPC0, "+
+			"%.1f kbps, %.2f%% bit error\n",
+			attempt, iters, len(framed), res.BitsPerSecond/1e3, res.ErrorRate*100)
+		raw, err := gpunoc.SymbolsToBytes(res.Pairs[0].Received, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered, err = unframe(raw)
+		if err != nil {
+			fmt.Printf("  spy-side verification failed (%v); retransmitting\n", err)
+			recovered = nil
+			continue
+		}
+		break
+	}
+	if recovered == nil {
+		log.Fatal("exfiltration failed after 3 attempts")
+	}
+	fmt.Printf("trojan key : %x\n", key)
+	fmt.Printf("spy key    : %x\n", recovered)
+	if string(recovered) == string(key) {
+		fmt.Println("key exfiltrated intact.")
+	} else {
+		fmt.Println("key corrupted despite parity check (collision).")
+	}
+}

@@ -1,0 +1,34 @@
+// Reverse-engineer the GPU topology from timing alone, the way §3 of the
+// paper does on real hardware: no API reveals the hierarchy — only shared
+// interconnect contention does.
+//
+//	go run ./examples/reverse-engineer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpunoc"
+)
+
+func main() {
+	cfg := gpunoc.SmallConfig() // swap for VoltaConfig() for the full sweep
+
+	fmt.Println("probing the GPU as a black box (smid + clock() + timing only)...")
+	pair, groups, err := gpunoc.ReverseEngineerTopology(&cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nSM0's TPC-channel partner: SM%d\n", pair)
+	fmt.Println("recovered GPC groups:")
+	for i, g := range groups {
+		fmt.Printf("  GPC-like group %d: TPCs %v\n", i, g)
+	}
+
+	fmt.Println("\nground truth (normally hidden from the attacker):")
+	for g := 0; g < cfg.NumGPCs; g++ {
+		fmt.Printf("  GPC%d: TPCs %v\n", g, cfg.TPCsOfGPC(g))
+	}
+}

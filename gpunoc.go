@@ -1,0 +1,186 @@
+// Package gpunoc is the public facade of the library: a cycle-level GPU /
+// hierarchical-NoC simulator plus a full implementation of the
+// interconnect-based covert channel from "Network-on-Chip
+// Microarchitecture-based Covert Channel in GPUs" (MICRO 2021).
+//
+// The typical flow is:
+//
+//	cfg := gpunoc.VoltaConfig()                     // Table 1 GPU model
+//	params, _ := gpunoc.Calibrate(&cfg, gpunoc.ChannelParams{Kind: gpunoc.TPCChannel})
+//	res, _ := gpunoc.SendBytes(&cfg, []byte("secret"), params)
+//	fmt.Println(res.BitsPerSecond, res.ErrorRate)
+//
+// Lower layers are exposed for experimentation: engine.GPU runs arbitrary
+// device programs, reveng reverse-engineers the topology from timing alone,
+// experiments regenerates every figure and table of the paper, and baseline
+// provides the prior-work channels of the Table 2 comparison.
+package gpunoc
+
+import (
+	"fmt"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/core"
+	"gpunoc/internal/engine"
+	"gpunoc/internal/experiments"
+	"gpunoc/internal/reveng"
+)
+
+// Config is the simulated GPU configuration (re-exported).
+type Config = config.Config
+
+// ArbPolicy selects NoC arbitration (RR baseline, CRR, SRR countermeasure).
+type ArbPolicy = config.ArbPolicy
+
+// Arbitration policies.
+const (
+	ArbRR    = config.ArbRR
+	ArbCRR   = config.ArbCRR
+	ArbSRR   = config.ArbSRR
+	ArbAge   = config.ArbAge
+	ArbFixed = config.ArbFixed
+)
+
+// VoltaConfig returns the Table 1 Volta V100-like configuration.
+func VoltaConfig() Config { return config.Volta() }
+
+// SmallConfig returns a reduced topology (2 GPCs x 2 TPCs x 2 SMs) that
+// keeps demos and tests fast while exercising the full hierarchy.
+func SmallConfig() Config { return config.Small() }
+
+// ChannelKind selects which shared interconnect channel carries a covert
+// transmission.
+type ChannelKind = core.Kind
+
+// Channel kinds.
+const (
+	TPCChannel = core.TPCChannel
+	GPCChannel = core.GPCChannel
+)
+
+// ChannelParams configures a covert transmission (Algorithm 2).
+type ChannelParams = core.Params
+
+// ChannelResult is the decoded outcome of a transmission.
+type ChannelResult = core.Result
+
+// Symbol is one transmitted unit (a bit, or two bits in multi-level mode).
+type Symbol = core.Symbol
+
+// Transmission is a prepared covert-channel run.
+type Transmission = core.Transmission
+
+// GPU is the simulated device (for custom kernels and experiments).
+type GPU = engine.GPU
+
+// NewGPU builds a simulated GPU from cfg.
+func NewGPU(cfg Config) (*GPU, error) { return engine.New(cfg) }
+
+// Calibrate determines the channel's latency thresholds empirically (§4.4)
+// by transmitting a known preamble, and returns params ready for use.
+func Calibrate(cfg *Config, p ChannelParams) (ChannelParams, error) {
+	return core.Calibrate(cfg, p, 0)
+}
+
+// NewTPCTransmission prepares a TPC-channel transmission over the given TPCs
+// (nil = all TPCs, the multi-TPC channel).
+func NewTPCTransmission(cfg *Config, payload []Symbol, tpcs []int, p ChannelParams) (*Transmission, error) {
+	return core.NewTPCTransmission(cfg, payload, tpcs, p)
+}
+
+// NewGPCTransmission prepares a GPC-channel transmission over the given GPCs
+// (nil = all GPCs, the multi-GPC channel).
+func NewGPCTransmission(cfg *Config, payload []Symbol, gpcs []int, p ChannelParams) (*Transmission, error) {
+	return core.NewGPCTransmission(cfg, payload, gpcs, p)
+}
+
+// SendBytes transmits data over the covert channel configured by p (all
+// TPCs or GPCs of the kind) and returns the decoded result plus the
+// recovered bytes.
+func SendBytes(cfg *Config, data []byte, p ChannelParams) (ChannelResult, []byte, error) {
+	bps := p.BitsPerSymbol
+	if bps == 0 {
+		bps = 1
+	}
+	payload, err := core.BytesToSymbols(data, bps)
+	if err != nil {
+		return ChannelResult{}, nil, err
+	}
+	var tr *Transmission
+	switch p.Kind {
+	case core.GPCChannel:
+		tr, err = core.NewGPCTransmission(cfg, payload, nil, p)
+	default:
+		tr, err = core.NewTPCTransmission(cfg, payload, nil, p)
+	}
+	if err != nil {
+		return ChannelResult{}, nil, err
+	}
+	res, err := tr.Run()
+	if err != nil {
+		return ChannelResult{}, nil, err
+	}
+	// Reassemble the received symbol stream in payload order.
+	received := make([]Symbol, 0, len(payload))
+	for _, pair := range res.Pairs {
+		received = append(received, pair.Received...)
+	}
+	if len(received) > len(payload) {
+		received = received[:len(payload)]
+	}
+	for len(received) < len(payload) {
+		received = append(received, 0)
+	}
+	got, err := core.SymbolsToBytes(received, bps)
+	if err != nil {
+		return res, nil, fmt.Errorf("gpunoc: reassembly failed: %w", err)
+	}
+	return res, got, nil
+}
+
+// BytesToSymbols and SymbolsToBytes convert payloads (re-exported helpers).
+func BytesToSymbols(data []byte, bitsPerSymbol int) ([]Symbol, error) {
+	return core.BytesToSymbols(data, bitsPerSymbol)
+}
+
+// SymbolsToBytes packs decoded symbols back into bytes.
+func SymbolsToBytes(symbols []Symbol, bitsPerSymbol int) ([]byte, error) {
+	return core.SymbolsToBytes(symbols, bitsPerSymbol)
+}
+
+// ReverseEngineerTopology recovers the TPC pairing of one SM (Fig 2) and the
+// TPC->GPC grouping (Fig 3/4) purely from timing measurements, the way the
+// paper's attacker does.
+func ReverseEngineerTopology(cfg *Config) (pairOfSM0 int, gpcGroups [][]int, err error) {
+	points, err := reveng.TPCSweep(cfg, 0, 4, 10)
+	if err != nil {
+		return 0, nil, err
+	}
+	pair, err := reveng.PairedSM(points)
+	if err != nil {
+		return 0, nil, err
+	}
+	opt := reveng.GPCProbeOptions{Reps: 8}
+	if cfg.NumTPCs() <= 8 {
+		opt.Background = -1
+	}
+	groups, err := reveng.MapGPCs(cfg, opt, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	return pair, groups, nil
+}
+
+// Experiments re-exports the per-figure harness.
+type (
+	// Figure is one regenerated paper artifact.
+	Figure = experiments.Figure
+	// ExperimentOptions scales experiment effort.
+	ExperimentOptions = experiments.Options
+)
+
+// Experiment scales.
+const (
+	QuickScale = experiments.Quick
+	FullScale  = experiments.Full
+)

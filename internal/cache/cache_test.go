@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T, size, lineB, ways, mshrs int) *Cache {
+	t.Helper()
+	c, err := New(size, lineB, ways, mshrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := [][4]int{
+		{0, 32, 4, 8},
+		{1024, 0, 4, 8},
+		{1024, 32, 0, 8},
+		{1024, 32, 4, 0},
+		{1024, 48, 4, 8}, // line not power of two
+		{1000, 32, 4, 8}, // size not divisible
+	}
+	for _, b := range bad {
+		if _, err := New(b[0], b[1], b[2], b[3]); err == nil {
+			t.Errorf("New(%v) should fail", b)
+		}
+	}
+	c := mk(t, 4096, 32, 4, 8)
+	if c.Sets() != 32 || c.Ways() != 4 || c.LineBytes() != 32 {
+		t.Errorf("geometry %d/%d/%d", c.Sets(), c.Ways(), c.LineBytes())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mk(t, 1024, 32, 2, 4)
+	if r := c.Access(0x100, false); r != Miss {
+		t.Fatalf("first access = %v, want miss", r)
+	}
+	// Merged access to the same line while outstanding.
+	if r := c.Access(0x104, false); r != MissMerged {
+		t.Fatalf("same-line access = %v, want merged", r)
+	}
+	waiters, wb := c.Fill(0x100, false)
+	if waiters != 2 || wb {
+		t.Fatalf("Fill = %d waiters, wb=%v", waiters, wb)
+	}
+	if r := c.Access(0x11F, false); r != Hit {
+		t.Fatalf("post-fill access = %v, want hit", r)
+	}
+	if c.PendingMSHRs() != 0 {
+		t.Error("MSHR not released")
+	}
+}
+
+func TestMSHRStall(t *testing.T) {
+	c := mk(t, 4096, 32, 4, 2)
+	if c.Access(0x0, false) != Miss || c.Access(0x1000, false) != Miss {
+		t.Fatal("setup misses failed")
+	}
+	if r := c.Access(0x2000, false); r != Stall {
+		t.Fatalf("access with full MSHRs = %v, want stall", r)
+	}
+	if st := c.Stats(); st.Stalls != 1 {
+		t.Errorf("stall counter = %d", st.Stalls)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// One set: 64 bytes, 32-byte lines, 2 ways.
+	c := mk(t, 64, 32, 2, 8)
+	fill := func(addr uint64) {
+		if c.Access(addr, false) == Miss {
+			c.Fill(addr, false)
+		}
+	}
+	fill(0x000)
+	fill(0x100)
+	// Touch 0x000 so 0x100 becomes LRU.
+	if c.Access(0x000, false) != Hit {
+		t.Fatal("expected hit on 0x000")
+	}
+	fill(0x200) // evicts 0x100
+	if !c.Probe(0x000) {
+		t.Error("recently used line evicted")
+	}
+	if c.Probe(0x100) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(0x200) {
+		t.Error("new line absent")
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	c := mk(t, 64, 32, 2, 8)
+	c.Access(0x000, true)
+	c.Fill(0x000, true) // dirty line
+	c.Access(0x100, false)
+	c.Fill(0x100, false)
+	c.Access(0x200, false)
+	_, wb := c.Fill(0x200, false) // evicts dirty 0x000
+	if !wb {
+		t.Error("dirty eviction must report writeback")
+	}
+	if st := c.Stats(); st.Writebacks != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := mk(t, 64, 32, 2, 8)
+	c.Access(0x000, false)
+	c.Fill(0x000, false)
+	if c.Access(0x010, true) != Hit {
+		t.Fatal("write should hit")
+	}
+	if _, dirty := c.Invalidate(0x000); !dirty {
+		t.Error("write hit did not mark line dirty")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mk(t, 64, 32, 2, 8)
+	if p, _ := c.Invalidate(0x40); p {
+		t.Error("invalidate of absent line reported present")
+	}
+	c.Access(0x40, false)
+	c.Fill(0x40, false)
+	if p, d := c.Invalidate(0x40); !p || d {
+		t.Errorf("invalidate = %v/%v, want present/clean", p, d)
+	}
+	if c.Probe(0x40) {
+		t.Error("line survived invalidate")
+	}
+}
+
+func TestFillWithoutMSHRIsPreload(t *testing.T) {
+	c := mk(t, 1024, 32, 2, 4)
+	waiters, _ := c.Fill(0x500, false)
+	if waiters != 0 {
+		t.Errorf("preload fill reported %d waiters", waiters)
+	}
+	if c.Access(0x500, false) != Hit {
+		t.Error("preload did not install line")
+	}
+}
+
+func TestRefillResidentLineKeepsOneCopy(t *testing.T) {
+	c := mk(t, 64, 32, 2, 8)
+	c.Fill(0x0, false)
+	c.Fill(0x0, true) // refresh, now dirty
+	if p, d := c.Invalidate(0x0); !p || !d {
+		t.Errorf("refresh fill lost dirtiness: %v/%v", p, d)
+	}
+	if c.Probe(0x0) {
+		t.Error("duplicate copy present after invalidate")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for r, want := range map[Result]string{
+		Hit: "hit", Miss: "miss", MissMerged: "miss-merged", Stall: "stall",
+		Result(9): "Result(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+// Property: after Access(a) reports Miss and Fill(a), Access(a) hits, for
+// arbitrary addresses; and line occupancy never exceeds ways per set.
+func TestQuickFillThenHit(t *testing.T) {
+	c := mk(t, 4096, 32, 4, 64)
+	f := func(addr uint64) bool {
+		switch c.Access(addr, false) {
+		case Miss:
+			c.Fill(addr, false)
+		case Stall:
+			return true // MSHR pressure from earlier iterations
+		}
+		return c.Access(addr, false) == Hit || c.PendingMSHRs() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counters are consistent — hits+misses+merged+stalls equals the
+// number of Access calls.
+func TestQuickCounterConservation(t *testing.T) {
+	c := mk(t, 2048, 32, 2, 4)
+	calls := uint64(0)
+	f := func(addr uint64, write bool) bool {
+		r := c.Access(addr%8192, write)
+		calls++
+		if r == Miss {
+			c.Fill(addr%8192, write)
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses+st.Merged+st.Stalls == calls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

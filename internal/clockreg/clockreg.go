@@ -1,0 +1,111 @@
+// Package clockreg models the per-SM 32-bit clock registers exposed by the
+// clock() device intrinsic. §4.1 of the paper measures their skew on a Volta
+// V100: SMs within a TPC differ by under 5 cycles, SMs within a GPC by under
+// 15 cycles, while different GPCs read wildly different values (up to ~4x,
+// Fig 6) because their counters started at different times. The covert
+// channel synchronizes sender and receiver purely from these registers, so
+// the skew statistics — not the absolute values — are what the model must
+// reproduce.
+package clockreg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpunoc/internal/config"
+)
+
+// Bank holds one clock register per SM, as offsets from the global
+// simulation cycle counter.
+type Bank struct {
+	cfg       *config.Config
+	offsets   []uint64 // per-SM offset added to the global cycle
+	fuzzBits  int
+	fuzzPhase []uint64 // per-SM random phase of the quantization grid
+}
+
+// New derives deterministic offsets from cfg.Seed: a large per-GPC base
+// offset (uniform in [ClockGPCSpreadLo, ClockGPCSpreadHi]), a small per-TPC
+// offset within the GPC bound, and a tiny per-SM offset within the TPC
+// bound.
+func New(cfg *config.Config) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClockSkewTPCMax < 0 || cfg.ClockSkewGPCMax < cfg.ClockSkewTPCMax {
+		return nil, fmt.Errorf("clockreg: inconsistent skew bounds TPC=%d GPC=%d",
+			cfg.ClockSkewTPCMax, cfg.ClockSkewGPCMax)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995))
+	gpcBase := make([]uint64, cfg.NumGPCs)
+	span := int64(cfg.ClockGPCSpreadHi) - int64(cfg.ClockGPCSpreadLo)
+	for g := range gpcBase {
+		off := uint64(cfg.ClockGPCSpreadLo)
+		if span > 0 {
+			off += uint64(rng.Int63n(span + 1))
+		}
+		gpcBase[g] = off
+	}
+	tpcOff := make([]uint64, cfg.NumTPCs())
+	for t := range tpcOff {
+		if cfg.ClockSkewGPCMax > 0 {
+			tpcOff[t] = uint64(rng.Intn(cfg.ClockSkewGPCMax - cfg.ClockSkewTPCMax + 1))
+		}
+	}
+	b := &Bank{cfg: cfg, offsets: make([]uint64, cfg.NumSMs()), fuzzBits: cfg.ClockFuzzBits}
+	if b.fuzzBits > 0 {
+		// TimeWarp-style fuzzing: each SM's clock advances in coarse
+		// epochs whose phase is private to the SM, so two SMs' readings
+		// are de-correlated by up to an epoch — which is what defeats
+		// fine-grained cross-SM synchronization (§6).
+		b.fuzzPhase = make([]uint64, cfg.NumSMs())
+		span := uint64(1) << b.fuzzBits
+		for i := range b.fuzzPhase {
+			b.fuzzPhase[i] = uint64(rng.Int63n(int64(span)))
+		}
+	}
+	for sm := range b.offsets {
+		tpc := cfg.TPCOfSM(sm)
+		gpc := cfg.GPCOfTPC(tpc)
+		smOff := uint64(0)
+		if cfg.ClockSkewTPCMax > 0 {
+			smOff = uint64(rng.Intn(cfg.ClockSkewTPCMax + 1))
+		}
+		b.offsets[sm] = gpcBase[gpc] + tpcOff[tpc] + smOff
+	}
+	return b, nil
+}
+
+// Read returns the 32-bit clock register of SM sm at global cycle now,
+// wrapping like the hardware counter. With ClockFuzzBits set, the value is
+// quantized — the §6 clock-fuzzing countermeasure.
+func (b *Bank) Read(sm int, now uint64) uint32 {
+	return uint32(b.fuzz(sm, now+b.offsets[sm]))
+}
+
+// Read64 returns the unwrapped (but still fuzz-quantized) counter; used by
+// analyses that need skew without aliasing.
+func (b *Bank) Read64(sm int, now uint64) uint64 {
+	return b.fuzz(sm, now+b.offsets[sm])
+}
+
+func (b *Bank) fuzz(sm int, v uint64) uint64 {
+	if b.fuzzBits <= 0 {
+		return v
+	}
+	mask := uint64(1)<<b.fuzzBits - 1
+	p := b.fuzzPhase[sm]
+	return ((v + p) &^ mask) - p
+}
+
+// Skew returns the absolute clock difference between two SMs.
+func (b *Bank) Skew(a, c int) uint64 {
+	oa, oc := b.offsets[a], b.offsets[c]
+	if oa > oc {
+		return oa - oc
+	}
+	return oc - oa
+}
+
+// NumSMs returns the number of registers in the bank.
+func (b *Bank) NumSMs() int { return len(b.offsets) }

@@ -1,0 +1,212 @@
+package clockreg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpunoc/internal/config"
+)
+
+func mkBank(t *testing.T) (*Bank, config.Config) {
+	t.Helper()
+	cfg := config.Volta()
+	b, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := config.Volta()
+	cfg.ClockSkewGPCMax = 2
+	cfg.ClockSkewTPCMax = 5 // GPC bound below TPC bound
+	if _, err := New(&cfg); err == nil {
+		t.Error("inconsistent skew bounds should fail")
+	}
+	bad := config.Volta()
+	bad.NumGPCs = 0
+	if _, err := New(&bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+// TestTPCSkewBound pins the §4.1 measurement: SMs within a TPC read clocks
+// that differ by fewer than 5 cycles.
+func TestTPCSkewBound(t *testing.T) {
+	b, cfg := mkBank(t)
+	for tpc := 0; tpc < cfg.NumTPCs(); tpc++ {
+		sms := cfg.SMsOfTPC(tpc)
+		skew := b.Skew(sms[0], sms[1])
+		if skew > uint64(cfg.ClockSkewTPCMax) {
+			t.Errorf("TPC %d intra-TPC skew %d exceeds %d", tpc, skew, cfg.ClockSkewTPCMax)
+		}
+	}
+}
+
+// TestGPCSkewBound: all SMs within one GPC stay within the 15-cycle bound.
+func TestGPCSkewBound(t *testing.T) {
+	b, cfg := mkBank(t)
+	for g := 0; g < cfg.NumGPCs; g++ {
+		var sms []int
+		for _, tpc := range cfg.TPCsOfGPC(g) {
+			sms = append(sms, cfg.SMsOfTPC(tpc)...)
+		}
+		for i := 0; i < len(sms); i++ {
+			for j := i + 1; j < len(sms); j++ {
+				if skew := b.Skew(sms[i], sms[j]); skew > uint64(cfg.ClockSkewGPCMax) {
+					t.Errorf("GPC %d: SM%d vs SM%d skew %d exceeds %d",
+						g, sms[i], sms[j], skew, cfg.ClockSkewGPCMax)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossGPCSpread: clocks from different GPCs are far apart (the Fig 6
+// structure that makes cross-GPC synchronization impossible while intra-GPC
+// synchronization works).
+func TestCrossGPCSpread(t *testing.T) {
+	b, cfg := mkBank(t)
+	maxIntra := uint64(0)
+	maxCross := uint64(0)
+	for a := 0; a < cfg.NumSMs(); a++ {
+		for c := a + 1; c < cfg.NumSMs(); c++ {
+			s := b.Skew(a, c)
+			if cfg.GPCOfSM(a) == cfg.GPCOfSM(c) {
+				if s > maxIntra {
+					maxIntra = s
+				}
+			} else if s > maxCross {
+				maxCross = s
+			}
+		}
+	}
+	if maxCross <= maxIntra*100 {
+		t.Errorf("cross-GPC spread (%d) should dwarf intra-GPC skew (%d)", maxCross, maxIntra)
+	}
+}
+
+func TestReadWraps32Bit(t *testing.T) {
+	b, _ := mkBank(t)
+	// Near the 32-bit boundary the register wraps but Read64 does not.
+	now := uint64(1)<<32 - 1
+	r32 := b.Read(0, now)
+	r64 := b.Read64(0, now)
+	if uint64(r32) == r64 {
+		t.Skip("offset happens to keep value below 2^32; wrap not exercised")
+	}
+	if uint64(r32) != r64&0xFFFFFFFF {
+		t.Errorf("Read = %d, want low 32 bits of %d", r32, r64)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := config.Volta()
+	b1, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sm := 0; sm < cfg.NumSMs(); sm++ {
+		if b1.Read(sm, 1000) != b2.Read(sm, 1000) {
+			t.Fatal("same seed must give identical clocks")
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	b3, err := New(&cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for sm := 0; sm < cfg.NumSMs(); sm++ {
+		if b1.Read(sm, 1000) != b3.Read(sm, 1000) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different clock offsets")
+	}
+}
+
+func TestNumSMs(t *testing.T) {
+	b, cfg := mkBank(t)
+	if b.NumSMs() != cfg.NumSMs() {
+		t.Errorf("NumSMs = %d, want %d", b.NumSMs(), cfg.NumSMs())
+	}
+}
+
+// Property: clocks advance monotonically with the global cycle and exactly
+// track elapsed time (the register is a cycle counter, not an oscillator).
+func TestQuickClockTracksCycles(t *testing.T) {
+	b, cfg := mkBank(t)
+	f := func(smRaw uint8, t0 uint32, dt uint16) bool {
+		sm := int(smRaw) % cfg.NumSMs()
+		a := b.Read64(sm, uint64(t0))
+		c := b.Read64(sm, uint64(t0)+uint64(dt))
+		return c-a == uint64(dt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: skew is symmetric and zero against itself.
+func TestQuickSkewMetric(t *testing.T) {
+	b, cfg := mkBank(t)
+	f := func(x, y uint8) bool {
+		a := int(x) % cfg.NumSMs()
+		c := int(y) % cfg.NumSMs()
+		return b.Skew(a, c) == b.Skew(c, a) && b.Skew(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockFuzzQuantizes: the §6 clock-fuzzing countermeasure strips the low
+// bits of every read, degrading synchronization precision.
+func TestClockFuzzQuantizes(t *testing.T) {
+	cfg := config.Volta()
+	cfg.ClockFuzzBits = 9
+	b, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Readings advance in 512-cycle epochs on a per-SM grid: consecutive
+	// reads within one epoch return the same value.
+	v0 := b.Read64(0, 10_000)
+	changes := 0
+	for now := uint64(10_000); now < 11_024; now++ {
+		if v := b.Read64(0, now); v != v0 {
+			changes++
+			v0 = v
+		}
+	}
+	if changes > 3 {
+		t.Errorf("fuzzed clock changed %d times over two epochs, want <=2-3", changes)
+	}
+	// Different SMs sit on de-correlated grids (phases differ).
+	sameGrid := true
+	for now := uint64(0); now < 2048; now += 64 {
+		if b.Read64(0, now)-b.Read64(1, now) != b.Read64(0, 0)-b.Read64(1, 0) {
+			sameGrid = false
+		}
+	}
+	if sameGrid {
+		t.Error("fuzz phases identical across SMs; fuzzing would not break sync")
+	}
+	// Unfuzzed bank still advances cycle by cycle.
+	cfg2 := config.Volta()
+	b2, err := New(&cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Read64(0, 101)-b2.Read64(0, 100) != 1 {
+		t.Error("unfuzzed clock must tick every cycle")
+	}
+}

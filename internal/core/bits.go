@@ -1,0 +1,64 @@
+package core
+
+import "fmt"
+
+// BytesToSymbols expands data into symbols of bitsPerSymbol bits each,
+// most-significant bit first. bitsPerSymbol must divide 8.
+func BytesToSymbols(data []byte, bitsPerSymbol int) ([]Symbol, error) {
+	if bitsPerSymbol < 1 || bitsPerSymbol > 8 || 8%bitsPerSymbol != 0 {
+		return nil, fmt.Errorf("core: bits per symbol %d must divide 8", bitsPerSymbol)
+	}
+	perByte := 8 / bitsPerSymbol
+	mask := byte(1<<bitsPerSymbol - 1)
+	out := make([]Symbol, 0, len(data)*perByte)
+	for _, b := range data {
+		for i := perByte - 1; i >= 0; i-- {
+			out = append(out, Symbol((b>>(uint(i)*uint(bitsPerSymbol)))&mask))
+		}
+	}
+	return out, nil
+}
+
+// SymbolsToBytes packs symbols back into bytes (the inverse of
+// BytesToSymbols). The symbol count must fill whole bytes.
+func SymbolsToBytes(symbols []Symbol, bitsPerSymbol int) ([]byte, error) {
+	if bitsPerSymbol < 1 || bitsPerSymbol > 8 || 8%bitsPerSymbol != 0 {
+		return nil, fmt.Errorf("core: bits per symbol %d must divide 8", bitsPerSymbol)
+	}
+	perByte := 8 / bitsPerSymbol
+	if len(symbols)%perByte != 0 {
+		return nil, fmt.Errorf("core: %d symbols do not fill whole bytes", len(symbols))
+	}
+	mask := Symbol(1<<bitsPerSymbol - 1)
+	out := make([]byte, 0, len(symbols)/perByte)
+	for i := 0; i < len(symbols); i += perByte {
+		var b byte
+		for j := 0; j < perByte; j++ {
+			b = b<<uint(bitsPerSymbol) | byte(symbols[i+j]&mask)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// AlternatingPayload builds the '0101...' (or '0123...' for multi-level)
+// test sequence used by Fig 9 and Fig 14.
+func AlternatingPayload(n, levels int) []Symbol {
+	out := make([]Symbol, n)
+	for i := range out {
+		out[i] = Symbol(i % levels)
+	}
+	return out
+}
+
+// CountSymbolErrors compares two symbol streams; missing symbols count as
+// errors.
+func CountSymbolErrors(sent, received []Symbol) int {
+	errs := 0
+	for i := range sent {
+		if i >= len(received) || received[i] != sent[i] {
+			errs++
+		}
+	}
+	return errs
+}

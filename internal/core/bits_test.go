@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesToSymbolsBinary(t *testing.T) {
+	syms, err := BytesToSymbols([]byte{0xA5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Symbol{1, 0, 1, 0, 0, 1, 0, 1}
+	if len(syms) != 8 {
+		t.Fatalf("got %d symbols", len(syms))
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("symbols = %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestBytesToSymbols2Bit(t *testing.T) {
+	syms, err := BytesToSymbols([]byte{0x1B}, 2) // 00 01 10 11
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Symbol{0, 1, 2, 3}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("symbols = %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestSymbolsToBytesValidation(t *testing.T) {
+	if _, err := BytesToSymbols([]byte{1}, 3); err == nil {
+		t.Error("3 bits per symbol should fail (does not divide 8)")
+	}
+	if _, err := SymbolsToBytes([]Symbol{1, 0, 1}, 1); err == nil {
+		t.Error("partial byte should fail")
+	}
+	if _, err := SymbolsToBytes([]Symbol{1}, 0); err == nil {
+		t.Error("zero bits per symbol should fail")
+	}
+}
+
+func TestAlternatingPayload(t *testing.T) {
+	p := AlternatingPayload(6, 2)
+	want := []Symbol{0, 1, 0, 1, 0, 1}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("payload = %v", p)
+		}
+	}
+	p4 := AlternatingPayload(6, 4)
+	want4 := []Symbol{0, 1, 2, 3, 0, 1}
+	for i := range want4 {
+		if p4[i] != want4[i] {
+			t.Fatalf("payload = %v", p4)
+		}
+	}
+}
+
+func TestCountSymbolErrors(t *testing.T) {
+	sent := []Symbol{0, 1, 1, 0}
+	if n := CountSymbolErrors(sent, []Symbol{0, 1, 1, 0}); n != 0 {
+		t.Errorf("identical streams: %d errors", n)
+	}
+	if n := CountSymbolErrors(sent, []Symbol{0, 0, 1, 1}); n != 2 {
+		t.Errorf("two flips: %d errors", n)
+	}
+	if n := CountSymbolErrors(sent, []Symbol{0, 1}); n != 2 {
+		t.Errorf("truncated stream: %d errors", n)
+	}
+}
+
+// Property: bytes -> symbols -> bytes round-trips for both symbol widths.
+func TestQuickSymbolRoundTrip(t *testing.T) {
+	for _, bps := range []int{1, 2, 4, 8} {
+		bps := bps
+		f := func(data []byte) bool {
+			syms, err := BytesToSymbols(data, bps)
+			if err != nil {
+				return false
+			}
+			back, err := SymbolsToBytes(syms, bps)
+			if err != nil {
+				return false
+			}
+			return bytes.Equal(data, back)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("bps=%d: %v", bps, err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's contribution: the interconnect-based
+// covert channel (§4). A sender (trojan) and receiver (spy) kernel are
+// co-located on the shared NoC hierarchy by exploiting the thread-block
+// scheduler (§4.3); they synchronize through the per-SM clock registers
+// (§4.1); and they communicate by modulating contention on the TPC or GPC
+// channel, which the receiver observes as L2 round-trip latency (§4.2,
+// Algorithm 2). Multi-TPC and multi-GPC variants parallelize transmission
+// across the whole GPU for the headline ~24 Mbps figure, and a multi-level
+// mode trades error rate for ~1.6x more bandwidth by modulating the degree
+// of coalescing (§5, Fig 14).
+package core
+
+import (
+	"fmt"
+)
+
+// Kind selects which shared channel carries the covert transmission.
+type Kind int
+
+const (
+	// TPCChannel uses the 2:1 mux shared by the two SMs of one TPC;
+	// the sender modulates *write* contention (§3.4).
+	TPCChannel Kind = iota
+	// GPCChannel uses the concentrated GPC channel shared by the TPCs of
+	// one GPC; the sender modulates *read* contention (§3.4, §4.5).
+	GPCChannel
+)
+
+// String names the channel kind.
+func (k Kind) String() string {
+	switch k {
+	case TPCChannel:
+		return "TPC"
+	case GPCChannel:
+		return "GPC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Params configures a covert-channel transmission (Algorithm 2).
+type Params struct {
+	Kind Kind
+
+	// Iterations is the number of memory operations used to communicate
+	// one symbol (the Fig 10 x-axis). More iterations raise the
+	// probability that sender and receiver traffic overlap, trading
+	// bandwidth for a lower error rate.
+	Iterations int
+
+	// SlotCycles is the timing slot T. Zero derives a default from
+	// Iterations and the channel kind.
+	SlotCycles uint64
+
+	// SyncPeriod is the number of symbols between clock-register
+	// resynchronizations (Algorithm 2's Sync_period). Zero disables
+	// periodic resync, reproducing the accumulating drift of Fig 9(a).
+	SyncPeriod int
+
+	// SyncModulus is the modulus used by the periodic Synchronization():
+	// both sides busy-wait until clock % SyncModulus == 0 ("the lower n
+	// bits of the clock registers are compared against a fixed value",
+	// §4.4). It only needs to exceed the residual divergence between the
+	// two sides, so the default is about two slots — keeping the resync
+	// overhead small. Zero derives the default.
+	SyncModulus uint64
+
+	// InitModulus is the modulus of the one-time initial synchronization,
+	// which must absorb the kernel launch skew. Cooperating MPS processes
+	// coordinate their launches on the CPU (§2.2 reports only a one-time
+	// synchronization overhead), so the skew the GPU sees is bounded;
+	// both kernels land in the same InitModulus window and align on its
+	// boundary. Zero derives a default well above typical launch skew.
+	InitModulus uint64
+
+	// Threshold separates "contended" from "free" mean slot latency for
+	// the 1-bit channel. Use Calibrate to measure it. For multi-level
+	// channels, Thresholds holds the level cut points (len = levels-1)
+	// and Threshold is ignored.
+	Threshold  float64
+	Thresholds []float64
+
+	// BitsPerSymbol selects 1 (binary, default) or 2 (the 4-level channel
+	// of Fig 14, signalling with 0/8/16/32 uncoalesced requests).
+	BitsPerSymbol int
+
+	// SenderWarps is the number of warps the sender activates per SM
+	// (the paper uses 5 for the TPC channel and 8 for the GPC channel).
+	SenderWarps int
+
+	// SenderCoalesced/ReceiverCoalesced force fully-coalesced accesses
+	// (one request per warp) to reproduce the Fig 13 error-rate study.
+	SenderCoalesced   bool
+	ReceiverCoalesced bool
+
+	// SlotJitter is the maximum per-slot scheduling jitter (cycles) each
+	// side experiences before issuing its accesses — the noise source
+	// behind the error-vs-iterations trade-off of Fig 10.
+	SlotJitter int
+
+	// DriftJitter models the wake-up imprecision of the busy-wait loops
+	// that count out each timing slot: every slot ends up to DriftJitter
+	// cycles late, independently on each side. Without periodic clock
+	// resynchronization these drifts random-walk apart and eventually
+	// misalign the slots — the accumulating error of Fig 9(a) that the
+	// Synchronization() of Algorithm 2 resets.
+	DriftJitter int
+
+	// Seed drives the per-program jitter streams.
+	Seed int64
+}
+
+// Levels returns the number of distinguishable contention levels.
+func (p *Params) Levels() int { return 1 << p.BitsPerSymbol }
+
+// LevelLanes maps a symbol to the number of unique memory requests used to
+// signal it: 0 for silence, up to the full 32 uncoalesced requests. For the
+// 2-bit channel this yields the paper's 0/8/16/32 split (0%, 25%, 50%, 100%
+// of lanes).
+func (p *Params) LevelLanes(symbol, simtWidth int) int {
+	levels := p.Levels()
+	if symbol <= 0 {
+		return 0
+	}
+	if symbol >= levels {
+		symbol = levels - 1
+	}
+	if p.SenderCoalesced {
+		// Fig 13: a coalesced sender emits a single request per warp
+		// regardless of the symbol.
+		return 1
+	}
+	return simtWidth * symbol / (levels - 1)
+}
+
+// withDefaults fills derived fields and validates. It returns a copy.
+func (p Params) withDefaults() (Params, error) {
+	if p.BitsPerSymbol == 0 {
+		p.BitsPerSymbol = 1
+	}
+	if p.BitsPerSymbol < 1 || p.BitsPerSymbol > 2 {
+		return p, fmt.Errorf("core: BitsPerSymbol %d not in {1,2}", p.BitsPerSymbol)
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 4
+	}
+	if p.Iterations < 1 {
+		return p, fmt.Errorf("core: non-positive iterations %d", p.Iterations)
+	}
+	if p.SenderWarps == 0 {
+		switch p.Kind {
+		case GPCChannel:
+			p.SenderWarps = 8
+		default:
+			p.SenderWarps = 5
+		}
+	}
+	if p.SenderWarps < 1 {
+		return p, fmt.Errorf("core: non-positive sender warps %d", p.SenderWarps)
+	}
+	if p.SlotCycles == 0 {
+		p.SlotCycles = DefaultSlot(p.Kind, p.Iterations)
+	}
+	if p.SyncPeriod < 0 {
+		return p, fmt.Errorf("core: negative sync period %d", p.SyncPeriod)
+	}
+	if p.SyncModulus == 0 {
+		p.SyncModulus = nextPow2(2 * p.SlotCycles)
+	}
+	if p.InitModulus == 0 {
+		p.InitModulus = p.SyncModulus
+		if p.InitModulus < 1<<16 {
+			p.InitModulus = 1 << 16
+		}
+	}
+	if p.SlotJitter == 0 {
+		p.SlotJitter = 260
+	}
+	if p.DriftJitter == 0 {
+		p.DriftJitter = 48
+	}
+	if p.Threshold == 0 && len(p.Thresholds) == 0 {
+		// A usable default for the calibrated Volta model; experiments
+		// normally run Calibrate instead.
+		p.Threshold = defaultThreshold(p.Kind)
+	}
+	if len(p.Thresholds) == 0 {
+		// Placeholder ladder; Calibrate replaces it with measured
+		// midpoints. Spacing mirrors the graded contention of Fig 14.
+		for i := 0; i < p.Levels()-1; i++ {
+			p.Thresholds = append(p.Thresholds, p.Threshold+float64(25*i))
+		}
+	}
+	if len(p.Thresholds) != p.Levels()-1 {
+		return p, fmt.Errorf("core: %d thresholds for %d levels", len(p.Thresholds), p.Levels())
+	}
+	for i := 1; i < len(p.Thresholds); i++ {
+		if p.Thresholds[i] <= p.Thresholds[i-1] {
+			return p, fmt.Errorf("core: thresholds not increasing: %v", p.Thresholds)
+		}
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p, nil
+}
+
+// DefaultSlot returns the default timing-slot length for a channel kind and
+// iteration count: slightly larger than the iterations' worst-case L2
+// round-trip time, as §4.4 prescribes ("a value of T that is slightly larger
+// than the value of L2 access round-trip latency"). The GPC channel uses a
+// larger slot because more SMs communicate per symbol (§4.5).
+func DefaultSlot(k Kind, iterations int) uint64 {
+	switch k {
+	case GPCChannel:
+		return uint64(250 + 450*iterations)
+	default:
+		// Per-iteration budget: ~288 cycles of shared-channel drain for
+		// the sender's flood plus the probe round trip, and a fixed term
+		// covering the reply tail and the per-slot scheduling jitter.
+		return uint64(160 + 360*iterations)
+	}
+}
+
+func nextPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+func defaultThreshold(k Kind) float64 {
+	switch k {
+	case GPCChannel:
+		return 260
+	default:
+		return 250
+	}
+}

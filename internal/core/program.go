@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math/rand"
+
+	"gpunoc/internal/device"
+	"gpunoc/internal/warp"
+)
+
+// Symbol is one transmitted unit: a bit for the binary channel, a 2-bit
+// value (0..3) for the multi-level channel.
+type Symbol int
+
+// chunkFunc decides, from the SM a block landed on (read through the %smid
+// analogue at runtime, as the real attack does), whether this warp
+// participates and which symbols it carries. A nil return means the warp
+// exits immediately (its block only reserved the SM slot).
+type chunkFunc func(smid int) []Symbol
+
+// addrFunc returns the L2-resident probe window base for a given SM.
+type addrFunc func(smid int) uint64
+
+// Sender/receiver state machine states.
+const (
+	stRole = iota
+	stInitSync
+	stSlotStart
+	stOps
+	stSlotEnd
+	stResync
+)
+
+// senderProgram implements the trojan warp of Algorithm 2: per timing slot
+// it either floods the shared channel with uncoalesced accesses (symbol > 0)
+// or stays silent, re-synchronizing on the clock register every SyncPeriod
+// slots.
+type senderProgram struct {
+	p      *Params
+	chunk  chunkFunc
+	window addrFunc
+	write  bool
+	lineB  int
+	simt   int
+	rng    *rand.Rand
+
+	symbols   []Symbol
+	state     int
+	slotStart uint64 // local clock at current slot start
+	bitIdx    int
+	opIdx     int
+	myOps     int // this warp's share of the per-slot op budget
+	base      uint64
+}
+
+// senderOpFactor scales the sender's per-slot op budget relative to the
+// receiver's probe count so that a full-intensity flood covers the whole
+// probe window (the paper's sender repeats accesses throughout the slot).
+const senderOpFactor = 2
+
+// opShare splits the per-slot op budget across the sender's warps: warp w
+// takes every SenderWarps-th op. Multiple warps issue concurrently purely to
+// keep the SM's LSU pipeline full (the paper activates 5 warps "to increase
+// the impact of contention"); the total traffic per slot stays proportional
+// to Iterations warp-wide operations.
+func opShare(total, warps, w int) int {
+	if w >= warps {
+		return 0
+	}
+	n := total / warps
+	if w < total%warps {
+		n++
+	}
+	return n
+}
+
+// Step implements device.Program.
+func (s *senderProgram) Step(ctx *device.Ctx) device.Op {
+	switch s.state {
+	case stRole:
+		s.symbols = s.chunk(ctx.SMID)
+		s.myOps = opShare(senderOpFactor*s.p.Iterations, s.p.SenderWarps, ctx.Warp)
+		if len(s.symbols) == 0 || s.myOps == 0 {
+			return device.Done()
+		}
+		s.base = s.window(ctx.SMID)
+		s.state = stInitSync
+		return device.SyncClock(s.p.InitModulus, 0)
+
+	case stInitSync:
+		s.slotStart = ctx.Clock64
+		s.state = stSlotStart
+		fallthrough
+
+	case stSlotStart:
+		if s.bitIdx >= len(s.symbols) {
+			return device.Done()
+		}
+		s.state = stOps
+		s.opIdx = 0
+		if j := s.jitter(); j > 0 {
+			return device.Wait(j)
+		}
+		fallthrough
+
+	case stOps:
+		lanes := s.p.LevelLanes(int(s.symbols[s.bitIdx]), s.simt)
+		if lanes > 0 && s.opIdx < s.myOps {
+			op, err := warp.PartialOp(s.opAddr(), s.write, s.lineB, lanes, s.simt)
+			if err != nil {
+				panic(err)
+			}
+			s.opIdx++
+			return device.Mem(op)
+		}
+		s.state = stSlotEnd
+		fallthrough
+
+	case stSlotEnd:
+		target := s.slotStart + s.p.SlotCycles
+		if ctx.Clock64 < target {
+			// The busy-wait wakes a few cycles late (DriftJitter);
+			// lateness carries into the next slot's start, so without
+			// periodic resync the two sides random-walk apart (Fig 9a).
+			return device.Wait(target - ctx.Clock64 + s.drift())
+		}
+		s.slotStart = ctx.Clock64
+		s.bitIdx++
+		if s.bitIdx >= len(s.symbols) {
+			return device.Done()
+		}
+		if s.p.SyncPeriod > 0 && s.bitIdx%s.p.SyncPeriod == 0 {
+			s.state = stResync
+			return device.SyncClock(s.p.SyncModulus, 0)
+		}
+		s.state = stSlotStart
+		return s.Step(ctx)
+
+	case stResync:
+		s.slotStart = ctx.Clock64
+		s.state = stSlotStart
+		return s.Step(ctx)
+	}
+	return device.Done()
+}
+
+func (s *senderProgram) jitter() uint64 {
+	if s.p.SlotJitter <= 0 {
+		return 0
+	}
+	return uint64(s.rng.Intn(s.p.SlotJitter + 1))
+}
+
+func (s *senderProgram) drift() uint64 {
+	if s.p.DriftJitter <= 0 {
+		return 0
+	}
+	return uint64(s.rng.Intn(s.p.DriftJitter + 1))
+}
+
+func (s *senderProgram) opAddr() uint64 {
+	// Rotate within a small, preloaded, L2-resident window.
+	span := uint64(s.simt * s.lineB)
+	return s.base + uint64(s.opIdx%2)*span
+}
+
+// SlotTrace records the receiver's observation for one timing slot.
+type SlotTrace struct {
+	// MeanLatency is the mean probe-op latency over the slot's
+	// iterations — the Fig 9/Fig 14 y-axis.
+	MeanLatency float64
+	// MaxLatency is the slowest probe op in the slot.
+	MaxLatency uint64
+	// Clock is the receiver's local clock at the slot start.
+	Clock uint64
+}
+
+// receiverProgram implements the spy warp of Algorithm 2: per timing slot it
+// probes the L2 through the shared channel, classifies the mean latency
+// against the thresholds, and records the decoded symbol.
+type receiverProgram struct {
+	p      *Params
+	active func(smid int) bool
+	window addrFunc
+	count  int // symbols to receive
+	lineB  int
+	simt   int
+	rng    *rand.Rand
+
+	// Outputs.
+	Received []Symbol
+	Trace    []SlotTrace
+	FirstOp  uint64 // local clock at first slot start
+	LastOp   uint64 // local clock at final slot end
+	SMID     int
+
+	state     int
+	slotStart uint64
+	bitIdx    int
+	opIdx     int
+	latSum    float64
+	latMax    uint64
+	base      uint64
+	sawFirst  bool
+}
+
+// Step implements device.Program.
+func (r *receiverProgram) Step(ctx *device.Ctx) device.Op {
+	switch r.state {
+	case stRole:
+		if !r.active(ctx.SMID) {
+			return device.Done()
+		}
+		r.SMID = ctx.SMID
+		r.base = r.window(ctx.SMID)
+		r.state = stInitSync
+		return device.SyncClock(r.p.InitModulus, 0)
+
+	case stInitSync:
+		r.slotStart = ctx.Clock64
+		if !r.sawFirst {
+			r.sawFirst = true
+			r.FirstOp = ctx.Clock64
+		}
+		r.state = stSlotStart
+		fallthrough
+
+	case stSlotStart:
+		if r.bitIdx >= r.count {
+			return device.Done()
+		}
+		r.state = stOps
+		r.opIdx = 0
+		r.latSum = 0
+		r.latMax = 0
+		if j := r.jitter(); j > 0 {
+			return device.Wait(j)
+		}
+		fallthrough
+
+	case stOps:
+		if r.opIdx > 0 {
+			// The previous probe completed; LastLatency is its cost.
+			r.latSum += float64(ctx.LastLatency)
+			if ctx.LastLatency > r.latMax {
+				r.latMax = ctx.LastLatency
+			}
+		}
+		if r.opIdx < r.p.Iterations {
+			r.opIdx++
+			return r.probeOp()
+		}
+		r.decodeSlot(ctx)
+		r.state = stSlotEnd
+		fallthrough
+
+	case stSlotEnd:
+		target := r.slotStart + r.p.SlotCycles
+		if ctx.Clock64 < target {
+			return device.Wait(target - ctx.Clock64 + r.drift())
+		}
+		r.slotStart = ctx.Clock64
+		r.LastOp = ctx.Clock64
+		r.bitIdx++
+		if r.bitIdx >= r.count {
+			return device.Done()
+		}
+		if r.p.SyncPeriod > 0 && r.bitIdx%r.p.SyncPeriod == 0 {
+			r.state = stResync
+			return device.SyncClock(r.p.SyncModulus, 0)
+		}
+		r.state = stSlotStart
+		return r.Step(ctx)
+
+	case stResync:
+		r.slotStart = ctx.Clock64
+		r.state = stSlotStart
+		return r.Step(ctx)
+	}
+	return device.Done()
+}
+
+func (r *receiverProgram) probeOp() device.Op {
+	span := uint64(r.simt * r.lineB)
+	base := r.base + uint64((r.opIdx-1)%2)*span
+	if r.ReceiverCoalesced() {
+		return device.Mem(warp.CoalescedOp(base, false))
+	}
+	return device.Mem(warp.UncoalescedOp(base, false, r.lineB))
+}
+
+// ReceiverCoalesced reports whether probes are coalesced (Fig 13 study).
+func (r *receiverProgram) ReceiverCoalesced() bool { return r.p.ReceiverCoalesced }
+
+func (r *receiverProgram) decodeSlot(ctx *device.Ctx) {
+	mean := r.latSum / float64(r.p.Iterations)
+	sym := 0
+	for _, th := range r.p.Thresholds {
+		if mean > th {
+			sym++
+		}
+	}
+	r.Received = append(r.Received, Symbol(sym))
+	r.Trace = append(r.Trace, SlotTrace{MeanLatency: mean, MaxLatency: r.latMax, Clock: r.slotStart})
+}
+
+func (r *receiverProgram) jitter() uint64 {
+	if r.p.SlotJitter <= 0 {
+		return 0
+	}
+	return uint64(r.rng.Intn(r.p.SlotJitter + 1))
+}
+
+func (r *receiverProgram) drift() uint64 {
+	if r.p.DriftJitter <= 0 {
+		return 0
+	}
+	return uint64(r.rng.Intn(r.p.DriftJitter + 1))
+}

@@ -1,0 +1,211 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpunoc/internal/config"
+)
+
+func timing() config.DRAMTiming { return config.Volta().DRAM }
+
+func mkMC(t *testing.T) *Controller {
+	t.Helper()
+	mc, err := NewController(timing(), 16, 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	tm := timing()
+	if _, err := NewController(tm, 0, 2048, 64); err == nil {
+		t.Error("zero banks should fail")
+	}
+	if _, err := NewController(tm, 16, 1000, 64); err == nil {
+		t.Error("non-power-of-two row should fail")
+	}
+	if _, err := NewController(tm, 16, 2048, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	bad := tm
+	bad.TRC = bad.TRAS - 1
+	if _, err := NewController(bad, 16, 2048, 64); err == nil {
+		t.Error("tRC < tRAS should fail")
+	}
+}
+
+// TestColdAccessLatency pins the first-access latency: activate (tRCD) plus
+// CAS (tCL) from an idle bank.
+func TestColdAccessLatency(t *testing.T) {
+	mc := mkMC(t)
+	var done uint64
+	mc.Enqueue(0, &Request{Addr: 0, Done: func(now uint64) { done = now }})
+	mc.Tick(0)
+	tm := timing()
+	want := uint64(tm.TRCD + tm.TCL) // 24
+	if done != want {
+		t.Errorf("cold access done at %d, want %d", done, want)
+	}
+}
+
+// TestRowHitFasterThanConflict verifies open-row locality: a second access
+// to the same row completes after only tCL, while a different row in the
+// same bank pays precharge + activate.
+func TestRowHitFasterThanConflict(t *testing.T) {
+	run := func(second uint64) uint64 {
+		mc := mkMC(t)
+		var done uint64
+		mc.Enqueue(0, &Request{Addr: 0, Done: func(uint64) {}})
+		mc.Enqueue(0, &Request{Addr: second, Done: func(now uint64) { done = now }})
+		for now := uint64(0); !mc.Idle(); now++ {
+			mc.Tick(now)
+		}
+		return done
+	}
+	hit := run(64)                 // same row (rows are 2048B)
+	conflict := run(16 * 2048 * 4) // same bank (16 banks), different row
+	if hit >= conflict {
+		t.Errorf("row hit (%d) not faster than conflict (%d)", hit, conflict)
+	}
+	if st := mkMC(t).Stats(); st.Served != 0 {
+		t.Error("fresh controller has non-zero stats")
+	}
+}
+
+func TestRowHitCounters(t *testing.T) {
+	mc := mkMC(t)
+	mc.Enqueue(0, &Request{Addr: 0, Done: func(uint64) {}})
+	mc.Enqueue(0, &Request{Addr: 32, Done: func(uint64) {}})
+	for now := uint64(0); !mc.Idle(); now++ {
+		mc.Tick(now)
+	}
+	st := mc.Stats()
+	if st.RowMisses != 1 || st.RowHits != 1 || st.Served != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	mc, err := NewController(timing(), 16, 2048, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok1 := mc.Enqueue(0, &Request{Addr: 0, Done: func(uint64) {}})
+	ok2 := mc.Enqueue(0, &Request{Addr: 64, Done: func(uint64) {}})
+	ok3 := mc.Enqueue(0, &Request{Addr: 128, Done: func(uint64) {}})
+	if !ok1 || !ok2 || ok3 {
+		t.Errorf("enqueue results %v/%v/%v, want true/true/false", ok1, ok2, ok3)
+	}
+	if st := mc.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d", st.Rejected)
+	}
+	if mc.Pending() != 2 {
+		t.Errorf("pending = %d", mc.Pending())
+	}
+}
+
+func TestNilDonePanics(t *testing.T) {
+	mc := mkMC(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil Done")
+		}
+	}()
+	mc.Enqueue(0, &Request{Addr: 0})
+}
+
+// TestBankParallelism: requests to different banks overlap, so N requests to
+// N banks finish far sooner than N requests to one bank.
+func TestBankParallelism(t *testing.T) {
+	run := func(stride uint64) uint64 {
+		mc := mkMC(t)
+		var last uint64
+		for i := uint64(0); i < 8; i++ {
+			mc.Enqueue(0, &Request{Addr: i * stride, Done: func(now uint64) {
+				if now > last {
+					last = now
+				}
+			}})
+		}
+		for now := uint64(0); !mc.Idle(); now++ {
+			mc.Tick(now)
+		}
+		return last
+	}
+	spread := run(2048)            // one request per bank
+	sameBank := run(2048 * 16 * 2) // all in bank 0, distinct rows
+	if float64(sameBank) < 2*float64(spread) {
+		t.Errorf("bank parallelism missing: spread=%d sameBank=%d", spread, sameBank)
+	}
+}
+
+// Property: Done fires exactly once per request and never before the request
+// was enqueued, under random address mixes.
+func TestQuickCompletionDiscipline(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		if len(addrs) > 60 {
+			addrs = addrs[:60]
+		}
+		mc, err := NewController(timing(), 8, 1024, 64)
+		if err != nil {
+			return false
+		}
+		fired := make([]int, len(addrs))
+		enqueuedAt := make([]uint64, len(addrs))
+		for i, a := range addrs {
+			i := i
+			enqueuedAt[i] = uint64(i)
+			if !mc.Enqueue(uint64(i), &Request{Addr: uint64(a), Done: func(now uint64) {
+				fired[i]++
+				if now < enqueuedAt[i] {
+					fired[i] = 99 // flag: completed before enqueue
+				}
+			}}) {
+				fired[i] = 1 // rejected; treat as accounted for
+			}
+			mc.Tick(uint64(i))
+		}
+		for now := uint64(len(addrs)); now < 1_000_000 && !mc.Idle(); now++ {
+			mc.Tick(now)
+		}
+		for _, n := range fired {
+			if n != 1 {
+				return false
+			}
+		}
+		return mc.Idle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-bank command spacing respects tRC between activates. We
+// approximate by checking that k same-bank row conflicts take at least
+// k*tRC - slack cycles in total.
+func TestQuickSameBankRespectsTRC(t *testing.T) {
+	tm := timing()
+	f := func(n uint8) bool {
+		k := int(n%6) + 2
+		mc, err := NewController(tm, 8, 1024, 64)
+		if err != nil {
+			return false
+		}
+		var last uint64
+		for i := 0; i < k; i++ {
+			// Same bank (8 banks, 1024B rows), different row each time.
+			addr := uint64(i) * 1024 * 8
+			mc.Enqueue(0, &Request{Addr: addr, Done: func(now uint64) { last = now }})
+		}
+		for now := uint64(0); !mc.Idle(); now++ {
+			mc.Tick(now)
+		}
+		// k activates on one bank need at least (k-1)*tRC cycles.
+		return last >= uint64((k-1)*tm.TRC)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package engine is the cycle-driven top level of the GPU simulator: it owns
+// the SMs, the hierarchical NoC, the L2/memory partitions, the per-SM clock
+// registers, and the thread-block scheduler, and advances them all in a
+// deterministic tick order. Kernels (device.KernelSpec) are launched onto
+// the GPU, placed by the reverse-engineered scheduler of §4.3, and run to
+// completion; the engine reports per-kernel execution times, which is the
+// measurement every figure of the paper is built from.
+package engine
+
+import (
+	"fmt"
+
+	"gpunoc/internal/clockreg"
+	"gpunoc/internal/config"
+	"gpunoc/internal/device"
+	"gpunoc/internal/mem"
+	"gpunoc/internal/noc"
+	"gpunoc/internal/packet"
+	"gpunoc/internal/sm"
+	"gpunoc/internal/tbsched"
+)
+
+// BlockPlacement records where one block of a launched kernel landed.
+type BlockPlacement struct {
+	Block int
+	SM    int
+}
+
+// Kernel is a resident kernel launch.
+type Kernel struct {
+	ID     int
+	Spec   device.KernelSpec
+	Blocks []BlockPlacement
+
+	LaunchedAt uint64
+	FinishedAt uint64
+	done       bool
+}
+
+// Running reports whether the kernel has unfinished warps.
+func (k *Kernel) Running() bool { return !k.done }
+
+// Duration returns the kernel execution time in cycles (0 while running).
+func (k *Kernel) Duration() uint64 {
+	if !k.done {
+		return 0
+	}
+	return k.FinishedAt - k.LaunchedAt
+}
+
+// GPU is the simulated device.
+type GPU struct {
+	cfg    config.Config
+	clocks *clockreg.Bank
+	net    *noc.Network
+	part   *mem.Partition
+	sms    []*sm.SM
+	sched  *tbsched.Scheduler
+
+	kernels []*Kernel
+	now     uint64
+}
+
+// New builds a GPU for cfg. The configuration is copied; later mutations of
+// the caller's value do not affect the instance.
+func New(cfg config.Config) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{cfg: cfg}
+
+	var err error
+	if g.clocks, err = clockreg.New(&g.cfg); err != nil {
+		return nil, err
+	}
+	if g.sched, err = tbsched.New(&g.cfg); err != nil {
+		return nil, err
+	}
+	if g.part, err = mem.NewPartition(&g.cfg, g.onReplyFromSlice); err != nil {
+		return nil, err
+	}
+	if g.net, err = noc.New(&g.cfg, g.onRequestAtSlice, g.onReplyAtSM); err != nil {
+		return nil, err
+	}
+	g.sms = make([]*sm.SM, g.cfg.NumSMs())
+	for i := range g.sms {
+		i := i
+		g.sms[i], err = sm.New(i, &g.cfg, g.clocks, func(now uint64, p *packet.Packet) {
+			p.Slice = g.part.SliceFor(p.Addr)
+			g.net.InjectRequest(now, i, p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (g *GPU) onRequestAtSlice(now uint64, p *packet.Packet) { g.part.Accept(now, p) }
+func (g *GPU) onReplyFromSlice(now uint64, p *packet.Packet) { g.net.InjectReply(now, p) }
+func (g *GPU) onReplyAtSM(now uint64, p *packet.Packet)      { g.sms[p.Tag.SM].OnReply(now, p) }
+
+// Config returns the (immutable) configuration.
+func (g *GPU) Config() *config.Config { return &g.cfg }
+
+// Clocks exposes the clock register bank (reverse engineering reads skews).
+func (g *GPU) Clocks() *clockreg.Bank { return g.clocks }
+
+// Network exposes the NoC for link statistics.
+func (g *GPU) Network() *noc.Network { return g.net }
+
+// Partition exposes the memory partitions (preloads, stats).
+func (g *GPU) Partition() *mem.Partition { return g.part }
+
+// SM returns SM i.
+func (g *GPU) SM(i int) *sm.SM { return g.sms[i] }
+
+// Now returns the current cycle.
+func (g *GPU) Now() uint64 { return g.now }
+
+// Preload warms the L2 with [base, base+size).
+func (g *GPU) Preload(base, size uint64) { g.part.Preload(base, size) }
+
+// Launch places a kernel's blocks via the thread-block scheduler and makes
+// its warps resident. It mirrors a cudaStream launch: placement happens
+// immediately at the current cycle; warps begin after the per-SM dispatch
+// jitter.
+func (g *GPU) Launch(spec device.KernelSpec) (*Kernel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sms, err := g.sched.Assign(spec.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{ID: len(g.kernels), Spec: spec, LaunchedAt: g.now}
+	for b, smID := range sms {
+		k.Blocks = append(k.Blocks, BlockPlacement{Block: b, SM: smID})
+		for w := 0; w < spec.WarpsPerBlock; w++ {
+			prog := spec.New(b, w)
+			if prog == nil {
+				return nil, fmt.Errorf("engine: kernel %q produced nil program for block %d warp %d",
+					spec.Name, b, w)
+			}
+			if err := g.sms[smID].AddWarp(g.now, k.ID, b, w, prog); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.kernels = append(g.kernels, k)
+	return k, nil
+}
+
+// LaunchAt runs the simulation until cycle at, then launches the kernel —
+// convenient for modeling the one-time process skew of an MPS-style launch
+// (§2.2).
+func (g *GPU) LaunchAt(at uint64, spec device.KernelSpec) (*Kernel, error) {
+	if at < g.now {
+		return nil, fmt.Errorf("engine: launch cycle %d is in the past (now %d)", at, g.now)
+	}
+	g.RunFor(at - g.now)
+	return g.Launch(spec)
+}
+
+// step advances the GPU by one cycle in a fixed component order: SMs issue,
+// the fabric moves packets, the memory partitions service requests.
+func (g *GPU) step() {
+	for _, s := range g.sms {
+		s.Tick(g.now)
+	}
+	g.net.Tick(g.now)
+	g.part.Tick(g.now)
+	g.updateKernels()
+	g.now++
+}
+
+func (g *GPU) updateKernels() {
+	for _, k := range g.kernels {
+		if k.done {
+			continue
+		}
+		running := 0
+		for _, bp := range k.Blocks {
+			running += g.sms[bp.SM].RunningWarps(k.ID)
+			if running > 0 {
+				break
+			}
+		}
+		if running == 0 {
+			k.done = true
+			k.FinishedAt = g.now
+			for _, bp := range k.Blocks {
+				// Release occupancy and recycle warp slots.
+				if err := g.sched.Release(bp.SM); err != nil {
+					panic(fmt.Sprintf("engine: release kernel %d block on SM %d: %v", k.ID, bp.SM, err))
+				}
+			}
+			seen := map[int]bool{}
+			for _, bp := range k.Blocks {
+				if !seen[bp.SM] {
+					seen[bp.SM] = true
+					g.sms[bp.SM].ReclaimFinished()
+				}
+			}
+		}
+	}
+}
+
+// RunFor advances the simulation n cycles.
+func (g *GPU) RunFor(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		g.step()
+	}
+}
+
+// RunUntil advances the simulation until cond returns true or the cycle
+// budget is exhausted; it reports whether cond fired.
+func (g *GPU) RunUntil(cond func() bool, budget uint64) bool {
+	for i := uint64(0); i < budget; i++ {
+		if cond() {
+			return true
+		}
+		g.step()
+	}
+	return cond()
+}
+
+// RunKernels runs until every launched kernel has completed, with a cycle
+// budget to guard against livelock. It returns an error on budget
+// exhaustion.
+func (g *GPU) RunKernels(budget uint64) error {
+	ok := g.RunUntil(func() bool {
+		for _, k := range g.kernels {
+			if !k.done {
+				return false
+			}
+		}
+		return true
+	}, budget)
+	if !ok {
+		return fmt.Errorf("engine: kernels still running after %d-cycle budget", budget)
+	}
+	return nil
+}
+
+// Idle reports whether no component holds queued work.
+func (g *GPU) Idle() bool {
+	for _, s := range g.sms {
+		if !s.Idle() {
+			return false
+		}
+	}
+	return g.net.Idle() && g.part.Idle()
+}
+
+// Kernels returns all launches in order.
+func (g *GPU) Kernels() []*Kernel { return g.kernels }

@@ -1,0 +1,266 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated GPU. Each Fig*/Table* function runs the
+// corresponding workload and returns the same rows/series the paper reports;
+// the bench harness at the repository root exposes one testing.B per
+// artifact, and cmd/ccbench renders the full set as a report.
+//
+// Absolute numbers differ from the paper (the substrate is a calibrated
+// simulator, not a V100), but each function documents the shape that must
+// hold and Check* helpers assert it.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/device"
+	"gpunoc/internal/engine"
+)
+
+// Series is one named curve of an experiment figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the regenerated data for one paper artifact.
+type Figure struct {
+	ID    string // "fig2", "table2", ...
+	Title string
+	// XLabel/YLabel mirror the paper's axes.
+	XLabel, YLabel string
+	Series         []Series
+	// Rows holds table-style output (Table 1/2 and summaries).
+	Header []string
+	Rows   [][]string
+	// Notes records deviations and observations.
+	Notes []string
+}
+
+// Scale selects how much work each experiment does.
+type Scale int
+
+const (
+	// Quick shrinks payloads/reps so the whole suite runs in seconds —
+	// used by unit tests and -short benchmarks.
+	Quick Scale = iota
+	// Full approximates the paper's sample sizes.
+	Full
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Scale Scale
+	Seed  int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) pick(quick, full int) int {
+	if o.Scale == Full {
+		return full
+	}
+	return quick
+}
+
+// addSeries appends a curve.
+func (f *Figure) addSeries(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// note records an observation.
+func (f *Figure) note(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// seriesByName finds a series (tests use it).
+func (f *Figure) seriesByName(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Render produces a plain-text rendering of the figure for reports.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Header) > 0 {
+		fmt.Fprintf(&b, "%s\n", strings.Join(f.Header, " | "))
+		for _, row := range f.Rows {
+			fmt.Fprintf(&b, "%s\n", strings.Join(row, " | "))
+		}
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "series %q (%s -> %s):\n", s.Name, f.XLabel, f.YLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %10.3f  %12.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pairRunner runs the two-kernel contention micro-benchmarks shared by
+// Fig 2/5/8/11: a measured workload on chosen SMs plus a contender workload,
+// both built from the Algorithm 1 streamer.
+type activation struct {
+	sm    int
+	ops   int
+	warps int
+	write bool
+}
+
+// runActivations launches one kernel whose blocks cover every SM; each
+// activated SM runs its streamer, everyone else exits. It returns each
+// activated SM's execution time (slowest warp) in cycles.
+func runActivations(cfg *config.Config, acts []activation) (map[int]uint64, error) {
+	bySM := map[int]activation{}
+	maxWarps := 1
+	for _, a := range acts {
+		if a.sm < 0 || a.sm >= cfg.NumSMs() {
+			return nil, fmt.Errorf("experiments: SM %d out of range", a.sm)
+		}
+		if _, dup := bySM[a.sm]; dup {
+			return nil, fmt.Errorf("experiments: SM %d activated twice", a.sm)
+		}
+		if a.warps <= 0 {
+			a.warps = 1
+		}
+		bySM[a.sm] = a
+		if a.warps > maxWarps {
+			maxWarps = a.warps
+		}
+	}
+	g, err := engine.New(*cfg)
+	if err != nil {
+		return nil, err
+	}
+	const span = 8192
+	g.Preload(0, uint64(cfg.NumSMs()*maxWarps)*span)
+
+	type meter struct {
+		active   bool
+		started  bool
+		start    uint64
+		end      uint64
+		sm       int
+		inner    device.Streamer
+		finished bool
+	}
+	var meters []*meter
+	spec := device.KernelSpec{
+		Name:          "contention",
+		Blocks:        cfg.NumSMs(),
+		WarpsPerBlock: maxWarps,
+		New: func(b, w int) device.Program {
+			m := &meter{}
+			meters = append(meters, m)
+			return device.StepFunc(func(ctx *device.Ctx) device.Op {
+				if !m.started {
+					m.started = true
+					a, ok := bySM[ctx.SMID]
+					if !ok || w >= a.warps || a.ops <= 0 {
+						return device.Done()
+					}
+					m.active = true
+					m.sm = ctx.SMID
+					m.start = ctx.Clock64
+					m.inner = device.Streamer{
+						Base:        uint64(ctx.SMID*maxWarps+w) * span,
+						LineBytes:   cfg.L2LineBytes,
+						Write:       a.write,
+						Count:       a.ops,
+						Uncoalesced: true,
+						WrapBytes:   span / 2,
+					}
+				}
+				if !m.active {
+					return device.Done()
+				}
+				op := m.inner.Step(ctx)
+				if op.Kind == device.OpDone && !m.finished {
+					m.finished = true
+					m.end = ctx.Clock64
+				}
+				return op
+			})
+		},
+	}
+	if _, err := g.Launch(spec); err != nil {
+		return nil, err
+	}
+	if err := g.RunKernels(100_000_000); err != nil {
+		return nil, err
+	}
+	out := map[int]uint64{}
+	for _, m := range meters {
+		if m.active && m.finished {
+			if d := m.end - m.start; d > out[m.sm] {
+				out[m.sm] = d
+			}
+		}
+	}
+	return out, nil
+}
+
+// soloTime measures one SM running the streamer alone (the normalization
+// baseline of the contention figures).
+func soloTime(cfg *config.Config, sm, ops, warps int, write bool) (uint64, error) {
+	times, err := runActivations(cfg, []activation{{sm: sm, ops: ops, warps: warps, write: write}})
+	if err != nil {
+		return 0, err
+	}
+	t := times[sm]
+	if t == 0 {
+		return 0, fmt.Errorf("experiments: no solo measurement for SM %d", sm)
+	}
+	return t, nil
+}
+
+// CSV renders the figure's series (or table rows) as CSV for plotting. Series
+// figures emit long-format rows: series,x,y. Table figures emit the header
+// and rows verbatim.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	if len(f.Rows) > 0 {
+		fmt.Fprintf(&b, "%s\n", strings.Join(csvEscape(f.Header), ","))
+		for _, row := range f.Rows {
+			fmt.Fprintf(&b, "%s\n", strings.Join(csvEscape(row), ","))
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "series,%s,%s\n", csvField(f.XLabel), csvField(f.YLabel))
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvField(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(fields []string) []string {
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = csvField(f)
+	}
+	return out
+}
+
+func csvField(f string) string {
+	if strings.ContainsAny(f, ",\"\n") {
+		return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+	}
+	return f
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gpunoc/internal/config"
+)
+
+// TestVoltaShapes runs the headline experiments on the full Volta topology.
+// It takes about a minute, so it is skipped under -short.
+func TestVoltaShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("volta-scale experiment run")
+	}
+	cfg := config.Volta()
+	opt := Options{Scale: Quick, Seed: 5}
+	t0 := time.Now()
+	f, err := Fig10(&cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Fig10 volta quick: %v\n", time.Since(t0))
+	for _, n := range f.Notes {
+		fmt.Println("  ", n)
+	}
+	if err := CheckFig10(f, cfg.NumTPCs()); err != nil {
+		t.Error(err)
+	}
+	t0 = time.Now()
+	f5, err := Fig5(&cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Fig5 volta quick: %v\n", time.Since(t0))
+	if err := CheckFig5(f5); err != nil {
+		t.Error(err)
+	}
+	for _, s := range f5.Series {
+		fmt.Printf("  %s: %v\n", s.Name, s.Y)
+	}
+}

@@ -1,0 +1,174 @@
+// Package link models a shared, bandwidth-limited interconnect channel fed
+// by several input queues through an arbiter. Every shared resource of the
+// GPU NoC — the 2:1 TPC mux, the 7:1 GPC mux with speedup, crossbar ports,
+// and L2 slice ingress/egress — is an instance of Link. Contention shows up
+// as queueing delay at the link inputs, which is precisely the timing signal
+// the covert channel measures.
+//
+// Bandwidth is a rational number of flits per cycle (num/den). Serialization
+// uses integer arithmetic in a time base scaled by num: a packet of F flits
+// occupies the channel for F*den scaled units, so fractional speedups such
+// as the calibrated 3.27 flits/cycle reply-side GPC channel are exact.
+package link
+
+import (
+	"fmt"
+
+	"gpunoc/internal/arb"
+	"gpunoc/internal/packet"
+)
+
+// Deliver receives a packet when it exits the link (after serialization and
+// pipeline latency).
+type Deliver func(now uint64, p *packet.Packet)
+
+// Stats aggregates link activity counters.
+type Stats struct {
+	Packets     uint64 // packets transferred
+	Flits       uint64 // flits transferred
+	QueueWait   uint64 // total cycles packets spent waiting in input queues
+	MaxQueueLen int    // high-water mark across all input queues
+}
+
+type queued struct {
+	p        *packet.Packet
+	enqueued uint64
+}
+
+type inflight struct {
+	p         *packet.Packet
+	deliverAt uint64
+}
+
+// Link is a single shared channel. It is not safe for concurrent use; the
+// simulation engine ticks all components from one goroutine.
+type Link struct {
+	name    string
+	num     uint64 // bandwidth numerator (flits)
+	den     uint64 // bandwidth denominator (cycles)
+	latency uint64 // pipeline latency after serialization, cycles
+
+	arbiter arb.Arbiter
+	queues  [][]queued
+	pipe    []inflight // FIFO: serialization end times are monotonic
+	out     Deliver
+
+	lastEnd uint64 // scaled (cycles*num) time the channel frees up
+	stats   Stats
+}
+
+// New constructs a link. inputs is the mux fan-in; rateNum/rateDen the
+// bandwidth in flits per cycle; latency the pipeline delay in cycles applied
+// after serialization. out must not be nil.
+func New(name string, inputs, rateNum, rateDen, latency int, a arb.Arbiter, out Deliver) (*Link, error) {
+	switch {
+	case inputs <= 0:
+		return nil, fmt.Errorf("link %s: non-positive input count %d", name, inputs)
+	case rateNum <= 0 || rateDen <= 0:
+		return nil, fmt.Errorf("link %s: non-positive rate %d/%d", name, rateNum, rateDen)
+	case latency < 0:
+		return nil, fmt.Errorf("link %s: negative latency %d", name, latency)
+	case a == nil:
+		return nil, fmt.Errorf("link %s: nil arbiter", name)
+	case out == nil:
+		return nil, fmt.Errorf("link %s: nil delivery sink", name)
+	}
+	return &Link{
+		name:    name,
+		num:     uint64(rateNum),
+		den:     uint64(rateDen),
+		latency: uint64(latency),
+		arbiter: a,
+		queues:  make([][]queued, inputs),
+		out:     out,
+	}, nil
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Inputs returns the mux fan-in.
+func (l *Link) Inputs() int { return len(l.queues) }
+
+// Stats returns a copy of the activity counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Enqueue appends p to input queue in at cycle now. It panics on an invalid
+// input index, which would indicate a miswired topology rather than a
+// recoverable condition.
+func (l *Link) Enqueue(now uint64, in int, p *packet.Packet) {
+	if in < 0 || in >= len(l.queues) {
+		panic(fmt.Sprintf("link %s: enqueue on input %d of %d", l.name, in, len(l.queues)))
+	}
+	l.queues[in] = append(l.queues[in], queued{p: p, enqueued: now})
+	if n := len(l.queues[in]); n > l.stats.MaxQueueLen {
+		l.stats.MaxQueueLen = n
+	}
+}
+
+// QueueLen reports the occupancy of one input queue (tests and debugging).
+func (l *Link) QueueLen(in int) int { return len(l.queues[in]) }
+
+// Idle reports whether the link holds no queued or in-flight packets.
+func (l *Link) Idle() bool {
+	if len(l.pipe) > 0 {
+		return false
+	}
+	for _, q := range l.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the link by one cycle: due packets are delivered downstream,
+// then as many new grants as the channel bandwidth allows within this cycle
+// are issued. Tick must be called with strictly increasing cycle numbers.
+func (l *Link) Tick(now uint64) {
+	// Phase 1: delivery. The pipe is FIFO because serialization-end times
+	// are monotonic.
+	for len(l.pipe) > 0 && l.pipe[0].deliverAt <= now {
+		f := l.pipe[0]
+		l.pipe = l.pipe[1:]
+		l.out(now, f.p)
+	}
+
+	// Phase 2: arbitration and serialization. The channel becomes free at
+	// scaled time lastEnd; grants may start any time within [now, now+1).
+	nowScaled := now * l.num
+	if l.lastEnd < nowScaled {
+		l.lastEnd = nowScaled // bandwidth does not accumulate while idle
+	}
+	heads := make([]*packet.Packet, len(l.queues))
+	for l.lastEnd < (now+1)*l.num {
+		loaded := false
+		for i, q := range l.queues {
+			if len(q) > 0 {
+				heads[i] = q[0].p
+				loaded = true
+			} else {
+				heads[i] = nil
+			}
+		}
+		if !loaded {
+			return
+		}
+		g := l.arbiter.Grant(now, heads)
+		if g < 0 {
+			return // SRR idle slot: bandwidth burns, nothing moves
+		}
+		item := l.queues[g][0]
+		l.queues[g] = l.queues[g][1:]
+
+		flits := uint64(item.p.Flits())
+		l.lastEnd += flits * l.den
+		// Serialization finishes at ceil(lastEnd/num) cycles.
+		doneCycle := (l.lastEnd + l.num - 1) / l.num
+		l.pipe = append(l.pipe, inflight{p: item.p, deliverAt: doneCycle + l.latency})
+
+		l.stats.Packets++
+		l.stats.Flits += flits
+		l.stats.QueueWait += now - item.enqueued
+	}
+}

@@ -1,0 +1,618 @@
+// Package reveng implements the reverse-engineering methodology of §3: the
+// Algorithm 1 memory-write benchmark that exposes which SMs share a TPC
+// channel (Fig 2), the randomized co-activation protocol that groups TPCs
+// into GPCs (Fig 3, Fig 4), the clock-register survey (Fig 6), and the
+// thread-block scheduler probe (§4.3). The tools treat the GPU as a black
+// box: they only launch kernels, read the %smid/clock() analogues, and
+// measure execution time — exactly the interface the paper's attacker has.
+package reveng
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/device"
+	"gpunoc/internal/engine"
+)
+
+// timedStreamer wraps the Algorithm 1 streamer and records its own start and
+// end clocks, so execution time can be read per SM like the paper's kernels
+// do with clock().
+type timedStreamer struct {
+	inner    device.Streamer
+	target   func(smid int) bool
+	active   bool
+	decided  bool
+	Start    uint64
+	End      uint64
+	SMID     int
+	finished bool
+}
+
+func (t *timedStreamer) Step(ctx *device.Ctx) device.Op {
+	if !t.decided {
+		t.decided = true
+		t.active = t.target == nil || t.target(ctx.SMID)
+		if !t.active {
+			return device.Done()
+		}
+		t.SMID = ctx.SMID
+		t.Start = ctx.Clock64
+	}
+	op := t.inner.Step(ctx)
+	if op.Kind == device.OpDone && !t.finished {
+		t.finished = true
+		t.End = ctx.Clock64
+	}
+	return op
+}
+
+// Duration returns the measured execution time in cycles (0 if inactive or
+// unfinished).
+func (t *timedStreamer) Duration() uint64 {
+	if !t.finished {
+		return 0
+	}
+	return t.End - t.Start
+}
+
+// runConfig drives one measurement: a full-coverage kernel whose blocks only
+// stream on the SMs selected by target.
+type runConfig struct {
+	cfg    *config.Config
+	write  bool
+	warps  int
+	ops    int
+	target func(smid int) bool
+}
+
+// runActive executes the benchmark and returns the duration measured on
+// every active SM, keyed by SM id.
+func runActive(rc runConfig) (map[int]uint64, error) {
+	g, err := engine.New(*rc.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Distinct, preloaded, L2-resident window per SM.
+	const span = 8192
+	g.Preload(0, uint64(rc.cfg.NumSMs())*span)
+	var progs []*timedStreamer
+	spec := device.KernelSpec{
+		Name:          "alg1",
+		Blocks:        rc.cfg.NumSMs(),
+		WarpsPerBlock: rc.warps,
+		New: func(b, w int) device.Program {
+			t := &timedStreamer{target: rc.target}
+			t.inner = device.Streamer{
+				LineBytes:   rc.cfg.L2LineBytes,
+				Write:       rc.write,
+				Count:       rc.ops,
+				Uncoalesced: true,
+				WrapBytes:   span / 2,
+			}
+			progs = append(progs, t)
+			return t
+		},
+	}
+	k, err := g.Launch(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Bind each program's address window to its placement (block -> SM).
+	for range k.Blocks {
+	}
+	// Windows follow the SM id; programs learn their SM at first step, so
+	// patch bases through a second pass using the placement map.
+	smOfBlock := make(map[int]int, len(k.Blocks))
+	for _, bp := range k.Blocks {
+		smOfBlock[bp.Block] = bp.SM
+	}
+	for i, t := range progs {
+		block := i / rc.warps
+		warpID := i % rc.warps
+		sm := smOfBlock[block]
+		t.inner.Base = uint64(sm)*span + uint64(warpID%2)*(span/2)
+	}
+	if err := g.RunKernels(50_000_000); err != nil {
+		return nil, err
+	}
+	out := make(map[int]uint64)
+	for _, t := range progs {
+		if t.active && t.Duration() > 0 {
+			// Report the slowest warp of the SM (the block's time).
+			if t.Duration() > out[t.SMID] {
+				out[t.SMID] = t.Duration()
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig2Point is one x-position of Fig 2.
+type Fig2Point struct {
+	OtherSM    int
+	BaseTime   uint64  // SM0's execution time with OtherSM active
+	Normalized float64 // relative to SM0 running alone
+}
+
+// TPCSweep reproduces Fig 2: the Algorithm 1 write benchmark runs on baseSM
+// together with each other SM in turn; the co-located SM is the one that
+// doubles baseSM's execution time.
+func TPCSweep(cfg *config.Config, baseSM int, warps, ops int) ([]Fig2Point, error) {
+	if baseSM < 0 || baseSM >= cfg.NumSMs() {
+		return nil, fmt.Errorf("reveng: base SM %d out of range", baseSM)
+	}
+	solo, err := runActive(runConfig{cfg: cfg, write: true, warps: warps, ops: ops,
+		target: func(smid int) bool { return smid == baseSM }})
+	if err != nil {
+		return nil, err
+	}
+	base := solo[baseSM]
+	if base == 0 {
+		return nil, fmt.Errorf("reveng: solo run produced no measurement")
+	}
+	var points []Fig2Point
+	for other := 0; other < cfg.NumSMs(); other++ {
+		if other == baseSM {
+			continue
+		}
+		other := other
+		times, err := runActive(runConfig{cfg: cfg, write: true, warps: warps, ops: ops,
+			target: func(smid int) bool { return smid == baseSM || smid == other }})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Fig2Point{
+			OtherSM:    other,
+			BaseTime:   times[baseSM],
+			Normalized: float64(times[baseSM]) / float64(base),
+		})
+	}
+	return points, nil
+}
+
+// PairedSM returns the SM inferred to share baseSM's TPC: the unique SM
+// whose co-activation degrades baseSM the most (and by at least 1.5x).
+func PairedSM(points []Fig2Point) (int, error) {
+	best := -1
+	var bestNorm float64
+	for _, p := range points {
+		if p.Normalized > bestNorm {
+			bestNorm = p.Normalized
+			best = p.OtherSM
+		}
+	}
+	if best < 0 || bestNorm < 1.5 {
+		return -1, fmt.Errorf("reveng: no SM shows TPC-channel contention (max %.2fx)", bestNorm)
+	}
+	return best, nil
+}
+
+// Fig3Point is one x-position of Fig 3: the reference TPC's mean execution
+// time when co-activated with a probe TPC plus random background TPCs.
+type Fig3Point struct {
+	ProbeTPC   int
+	MeanTime   float64
+	MaxTime    uint64
+	Samples    []uint64
+	Normalized float64 // mean relative to the overall minimum mean
+}
+
+// GPCProbeOptions tunes the Fig 3 protocol.
+type GPCProbeOptions struct {
+	Reps int // paper: 200
+	// Background is the number of random extra TPCs per rep (paper: 5).
+	// Zero selects the paper's default; use -1 for a deterministic
+	// two-TPC probe (useful on small topologies).
+	Background int
+	Warps      int
+	Ops        int
+	Seed       int64
+}
+
+func (o *GPCProbeOptions) defaults() {
+	if o.Reps == 0 {
+		o.Reps = 40
+	}
+	if o.Background == 0 {
+		o.Background = 5
+	}
+	if o.Warps == 0 {
+		o.Warps = 2
+	}
+	if o.Ops == 0 {
+		o.Ops = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// GPCSweep reproduces Fig 3 for one reference TPC: for every probe TPC, the
+// reference and probe run the read benchmark together with Background
+// randomly chosen extra TPCs, Reps times; probes in the reference's GPC
+// occasionally push the shared GPC channel past its speedup and elevate the
+// mean. Both SMs of every activated TPC run the benchmark (the model's
+// per-SM injection cap means single-SM activation cannot reach the
+// channel's saturation point; see DESIGN.md).
+func GPCSweep(cfg *config.Config, refTPC int, opt GPCProbeOptions) ([]Fig3Point, error) {
+	opt.defaults()
+	if refTPC < 0 || refTPC >= cfg.NumTPCs() {
+		return nil, fmt.Errorf("reveng: ref TPC %d out of range", refTPC)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var points []Fig3Point
+	for probe := 0; probe < cfg.NumTPCs(); probe++ {
+		if probe == refTPC {
+			continue
+		}
+		pt := Fig3Point{ProbeTPC: probe}
+		sum := 0.0
+		for rep := 0; rep < opt.Reps; rep++ {
+			background := opt.Background
+			if background < 0 {
+				background = 0 // -1 selects the deterministic two-TPC probe
+			}
+			active := map[int]bool{refTPC: true, probe: true}
+			for len(active) < 2+background && len(active) < cfg.NumTPCs() {
+				active[rng.Intn(cfg.NumTPCs())] = true
+			}
+			seedCfg := *cfg
+			seedCfg.Seed = cfg.Seed + int64(rep*1000+probe)
+			times, err := runActive(runConfig{cfg: &seedCfg, write: false,
+				warps: opt.Warps, ops: opt.Ops,
+				target: func(smid int) bool { return active[cfg.TPCOfSM(smid)] }})
+			if err != nil {
+				return nil, err
+			}
+			// The reference TPC's time = slowest of its two SMs.
+			var t uint64
+			for _, sm := range cfg.SMsOfTPC(refTPC) {
+				if times[sm] > t {
+					t = times[sm]
+				}
+			}
+			pt.Samples = append(pt.Samples, t)
+			sum += float64(t)
+			if t > pt.MaxTime {
+				pt.MaxTime = t
+			}
+		}
+		pt.MeanTime = sum / float64(opt.Reps)
+		points = append(points, pt)
+	}
+	min := points[0].MeanTime
+	for _, p := range points {
+		if p.MeanTime < min {
+			min = p.MeanTime
+		}
+	}
+	for i := range points {
+		points[i].Normalized = points[i].MeanTime / min
+	}
+	return points, nil
+}
+
+// GroupFromSweep extracts the TPCs inferred to share the reference's GPC.
+// With margin > 0 it selects probes whose normalized mean exceeds 1+margin.
+// With margin <= 0 it auto-thresholds at the midpoint between the lowest and
+// highest probe means, which separates "always contended" group mates from
+// probes that were only elevated by random background placement. If the
+// spread between probes is inside the noise floor, the reference is reported
+// as a singleton group.
+func GroupFromSweep(refTPC int, points []Fig3Point, margin float64) []int {
+	group := []int{refTPC}
+	if len(points) == 0 {
+		return group
+	}
+	cut := 1 + margin
+	if margin <= 0 {
+		lo, hi := points[0].Normalized, points[0].Normalized
+		for _, p := range points {
+			if p.Normalized < lo {
+				lo = p.Normalized
+			}
+			if p.Normalized > hi {
+				hi = p.Normalized
+			}
+		}
+		if hi-lo < 0.01 {
+			return group // no probe stands out: singleton GPC
+		}
+		cut = (lo + hi) / 2
+	}
+	for _, p := range points {
+		if p.Normalized > cut {
+			group = append(group, p.ProbeTPC)
+		}
+	}
+	sort.Ints(group)
+	return group
+}
+
+// MapGPCs reproduces Fig 4: it repeats the Fig 3 analysis from successive
+// reference TPCs until every TPC is assigned to a group, and returns the
+// groups sorted by their smallest member.
+func MapGPCs(cfg *config.Config, opt GPCProbeOptions, margin float64) ([][]int, error) {
+	assigned := make(map[int]bool)
+	var groups [][]int
+	for ref := 0; ref < cfg.NumTPCs(); ref++ {
+		if assigned[ref] {
+			continue
+		}
+		points, err := GPCSweep(cfg, ref, opt)
+		if err != nil {
+			return nil, err
+		}
+		group := GroupFromSweep(ref, points, margin)
+		for _, t := range group {
+			assigned[t] = true
+		}
+		groups = append(groups, group)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups, nil
+}
+
+// ClockSample is one SM's clock-register reading (Fig 6).
+type ClockSample struct {
+	SM    int
+	Value uint32
+}
+
+// ClockSurvey launches the Fig 6 kernel: one block per SM, each reading its
+// clock register once. The survey kernel reads clock() as its very first
+// instruction, so warp-dispatch jitter is damped to a few cycles — the
+// measured spread then reflects the register offsets themselves, matching
+// the paper's methodology (§4.1).
+func ClockSurvey(cfg *config.Config) ([]ClockSample, error) {
+	c := *cfg
+	if c.WarpIssueJitter > 3 {
+		c.WarpIssueJitter = 3
+	}
+	g, err := engine.New(c)
+	if err != nil {
+		return nil, err
+	}
+	readers := make([]*device.ClockReader, 0, cfg.NumSMs())
+	spec := device.KernelSpec{
+		Name:          "clock-survey",
+		Blocks:        cfg.NumSMs(),
+		WarpsPerBlock: 1,
+		New: func(b, w int) device.Program {
+			r := &device.ClockReader{}
+			readers = append(readers, r)
+			return r
+		},
+	}
+	if _, err := g.Launch(spec); err != nil {
+		return nil, err
+	}
+	if err := g.RunKernels(1_000_000); err != nil {
+		return nil, err
+	}
+	samples := make([]ClockSample, 0, len(readers))
+	for _, r := range readers {
+		samples = append(samples, ClockSample{SM: r.SMID, Value: r.Value})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].SM < samples[j].SM })
+	return samples, nil
+}
+
+// SkewStats summarizes repeated clock surveys (§4.1: "we re-ran this kernel
+// 100 times").
+type SkewStats struct {
+	MeanTPCSkew float64 // mean |clock difference| between TPC mates
+	MaxTPCSkew  uint64
+	MeanGPCSkew float64 // mean pairwise skew within GPCs
+	MaxGPCSkew  uint64
+}
+
+// MeasureSkew runs the clock survey reps times and aggregates the intra-TPC
+// and intra-GPC skews.
+func MeasureSkew(cfg *config.Config, reps int) (SkewStats, error) {
+	if reps <= 0 {
+		reps = 100
+	}
+	var st SkewStats
+	var tpcSum, gpcSum float64
+	var tpcN, gpcN int
+	for rep := 0; rep < reps; rep++ {
+		c := *cfg
+		c.Seed = cfg.Seed + int64(rep)
+		samples, err := ClockSurvey(&c)
+		if err != nil {
+			return st, err
+		}
+		bySM := make(map[int]uint32, len(samples))
+		for _, s := range samples {
+			bySM[s.SM] = s.Value
+		}
+		diff := func(a, b int) uint64 {
+			d := int64(bySM[a]) - int64(bySM[b])
+			if d < 0 {
+				d = -d
+			}
+			return uint64(d)
+		}
+		for t := 0; t < c.NumTPCs(); t++ {
+			sms := c.SMsOfTPC(t)
+			d := diff(sms[0], sms[1])
+			tpcSum += float64(d)
+			tpcN++
+			if d > st.MaxTPCSkew {
+				st.MaxTPCSkew = d
+			}
+		}
+		for g := 0; g < c.NumGPCs; g++ {
+			var sms []int
+			for _, t := range c.TPCsOfGPC(g) {
+				sms = append(sms, c.SMsOfTPC(t)...)
+			}
+			for i := 0; i < len(sms); i++ {
+				for j := i + 1; j < len(sms); j++ {
+					d := diff(sms[i], sms[j])
+					gpcSum += float64(d)
+					gpcN++
+					if d > st.MaxGPCSkew {
+						st.MaxGPCSkew = d
+					}
+				}
+			}
+		}
+	}
+	st.MeanTPCSkew = tpcSum / float64(tpcN)
+	st.MeanGPCSkew = gpcSum / float64(gpcN)
+	return st, nil
+}
+
+// TBProbe launches a marker kernel and reports which SM each block landed
+// on, recovering the scheduling policy of §4.3.
+func TBProbe(cfg *config.Config, blocks int) ([]int, error) {
+	g, err := engine.New(*cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec := device.KernelSpec{
+		Name:          "tb-probe",
+		Blocks:        blocks,
+		WarpsPerBlock: 1,
+		New:           func(b, w int) device.Program { return &device.ClockReader{} },
+	}
+	k, err := g.Launch(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RunKernels(1_000_000); err != nil {
+		return nil, err
+	}
+	out := make([]int, blocks)
+	for _, bp := range k.Blocks {
+		out[bp.Block] = bp.SM
+	}
+	return out, nil
+}
+
+// quadThreshold is the slowdown ratio above which the deterministic
+// four-TPC co-activation test declares contention.
+const quadThreshold = 1.08
+
+// quadTest deterministically checks whether probe shares the reference's
+// GPC, given two TPCs (helpers) already known to be in that GPC: activating
+// four same-GPC TPC pairs oversubscribes the GPC reply channel while three
+// stay just under its speedup, so the reference's time jumps only when the
+// probe completes the quartet.
+func quadTest(cfg *config.Config, ref, h1, h2, probe int, warps, ops int) (bool, error) {
+	measure := func(tpcs []int) (uint64, error) {
+		var target []int
+		for _, t := range tpcs {
+			target = append(target, cfg.SMsOfTPC(t)...)
+		}
+		sel := map[int]bool{}
+		for _, sm := range target {
+			sel[sm] = true
+		}
+		times, err := runActive(runConfig{cfg: cfg, write: false, warps: warps, ops: ops,
+			target: func(smid int) bool { return sel[smid] }})
+		if err != nil {
+			return 0, err
+		}
+		var t uint64
+		for _, sm := range cfg.SMsOfTPC(ref) {
+			if times[sm] > t {
+				t = times[sm]
+			}
+		}
+		return t, nil
+	}
+	base, err := measure([]int{ref, h1, h2})
+	if err != nil {
+		return false, err
+	}
+	with, err := measure([]int{ref, h1, h2, probe})
+	if err != nil {
+		return false, err
+	}
+	return float64(with)/float64(base) > quadThreshold, nil
+}
+
+// MapGPCsAdaptive recovers the TPC->GPC mapping with an adaptive,
+// hypothesis-driven protocol that needs orders of magnitude fewer runs than
+// the 200-repetition statistical sweep: GPUs assign TPCs to GPCs with strong
+// regularity (the paper observes they are "mostly interleaved"), so for each
+// reference the attacker first searches for a stride K such that the quartet
+// {ref, ref+K, ref+2K, ref+3K} saturates a GPC reply channel together, then
+// verifies every remaining TPC with one deterministic quartet test each.
+// Irregular members (the spilled TPC39 of Fig 4) are caught by the
+// exhaustive verification; topologies whose GPCs hold fewer than four TPCs
+// fall back to the statistical grouping.
+func MapGPCsAdaptive(cfg *config.Config, opt GPCProbeOptions) ([][]int, error) {
+	opt.defaults()
+	assigned := make(map[int]bool)
+	var groups [][]int
+	n := cfg.NumTPCs()
+	for ref := 0; ref < n; ref++ {
+		if assigned[ref] {
+			continue
+		}
+		var group []int
+		// Phase A: stride hypothesis search for two groupmates.
+		var h1, h2 int
+		found := false
+		for k := 1; !found && k <= n/3; k++ {
+			a, b, c := ref+k, ref+2*k, ref+3*k
+			if c >= n || assigned[a] || assigned[b] || assigned[c] {
+				continue
+			}
+			in, err := quadTest(cfg, ref, a, b, c, opt.Warps, opt.Ops)
+			if err != nil {
+				return nil, err
+			}
+			if in {
+				h1, h2 = a, b
+				found = true
+			}
+		}
+		if found {
+			// Phase B: one deterministic quartet test per remaining TPC.
+			group = []int{ref, h1, h2}
+			for probe := 0; probe < n; probe++ {
+				if assigned[probe] || probe == ref || probe == h1 || probe == h2 {
+					continue
+				}
+				in, err := quadTest(cfg, ref, h1, h2, probe, opt.Warps, opt.Ops)
+				if err != nil {
+					return nil, err
+				}
+				if in {
+					group = append(group, probe)
+				}
+			}
+		} else {
+			// No quartet found: the GPC is smaller than four TPCs (or
+			// highly irregular); fall back to the statistical sweep. The
+			// full probe set (including already-grouped TPCs) keeps the
+			// relative normalization meaningful; already-grouped TPCs are
+			// then dropped from the result.
+			points, err := GPCSweep(cfg, ref, opt)
+			if err != nil {
+				return nil, err
+			}
+			group = group[:0]
+			for _, t := range GroupFromSweep(ref, points, 0) {
+				if t == ref || !assigned[t] {
+					group = append(group, t)
+				}
+			}
+		}
+		sort.Ints(group)
+		for _, t := range group {
+			assigned[t] = true
+		}
+		groups = append(groups, group)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups, nil
+}

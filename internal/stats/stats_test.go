@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic data set is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("variance of singleton must be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatal("Min(nil) should fail")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatal("Max(nil) should fail")
+	}
+	xs := []float64{3, -2, 8, 0}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if lo != -2 || hi != 8 {
+		t.Errorf("Min/Max = %v/%v", lo, hi)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("percentile > 100 should fail")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("empty percentile should fail")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	if _, err := Median(ys); err != nil {
+		t.Fatal(err)
+	}
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-9) || !almostEqual(b, 2, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Errorf("fit = %v + %vx (r2=%v)", a, b, r2)
+	}
+	if _, _, _, err := LinearFit(x, y[:3]); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+	// Constant y is a perfect horizontal fit.
+	_, b, r2, err = LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil || b != 0 || r2 != 1 {
+		t.Errorf("constant fit: b=%v r2=%v err=%v", b, r2, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	counts, edges, err := Histogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("shape: %d counts, %d edges", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram lost samples: %d != %d", total, len(xs))
+	}
+	if _, _, err := Histogram(nil, 3); err != ErrEmpty {
+		t.Error("empty histogram should fail")
+	}
+	if _, _, err := Histogram(xs, 0); err == nil {
+		t.Error("zero buckets should fail")
+	}
+	// Degenerate (all-equal) input still lands every sample in one bucket.
+	counts, _, err = Histogram([]float64{7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Error("degenerate histogram lost samples")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	got := Normalize(xs, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+	got = Normalize(xs, 0)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatal("zero base should copy input")
+		}
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 3
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almostEqual(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v != %v", r.Mean(), Mean(xs))
+	}
+	if !almostEqual(r.Variance(), Variance(xs), 1e-6) {
+		t.Errorf("running variance %v != %v", r.Variance(), Variance(xs))
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if r.Min() != lo || r.Max() != hi {
+		t.Errorf("running min/max %v/%v != %v/%v", r.Min(), r.Max(), lo, hi)
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdDev() != 0 {
+		t.Error("zero-value Running must report zeros")
+	}
+	r.Add(5)
+	if r.Mean() != 5 || r.Variance() != 0 || r.Min() != 5 || r.Max() != 5 {
+		t.Error("single-sample Running wrong")
+	}
+}
+
+// Property: mean is always within [min, max], and variance is non-negative.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		return m >= lo-1e-6 && m <= hi+1e-6 && Variance(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Running and batch stats agree on arbitrary finite inputs.
+func TestQuickRunningAgreesWithBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		if len(xs) == 0 {
+			return r.N() == 0
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return almostEqual(r.Mean(), Mean(xs), 1e-6*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package tbsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpunoc/internal/config"
+)
+
+func mkSched(t *testing.T, cfg config.Config) *Scheduler {
+	t.Helper()
+	s, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := config.Volta()
+	bad.NumGPCs = 0
+	if _, err := New(&bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+// TestSection43Placement pins the reverse-engineered policy: the first 40
+// blocks land on 40 distinct TPCs (one SM each), and the next 40 fill the
+// second SM of each TPC. A sender launched first and a receiver launched
+// second are therefore co-located pairwise on every TPC.
+func TestSection43Placement(t *testing.T) {
+	cfg := config.Volta()
+	s := mkSched(t, cfg)
+	sender, err := s.Assign(cfg.NumTPCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenTPC := make(map[int]bool)
+	for _, smID := range sender {
+		tpc := cfg.TPCOfSM(smID)
+		if seenTPC[tpc] {
+			t.Fatalf("two sender blocks on TPC %d before all TPCs used", tpc)
+		}
+		seenTPC[tpc] = true
+	}
+	if len(seenTPC) != cfg.NumTPCs() {
+		t.Fatalf("sender covered %d TPCs, want %d", len(seenTPC), cfg.NumTPCs())
+	}
+	receiver, err := s.Assign(cfg.NumTPCs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver blocks fill the remaining SM of every TPC; each TPC hosts
+	// exactly one sender and one receiver SM.
+	pair := make(map[int][2]int)
+	for _, smID := range sender {
+		p := pair[cfg.TPCOfSM(smID)]
+		p[0]++
+		pair[cfg.TPCOfSM(smID)] = p
+	}
+	for _, smID := range receiver {
+		p := pair[cfg.TPCOfSM(smID)]
+		p[1]++
+		pair[cfg.TPCOfSM(smID)] = p
+	}
+	for tpc, p := range pair {
+		if p[0] != 1 || p[1] != 1 {
+			t.Errorf("TPC %d hosts %d senders / %d receivers", tpc, p[0], p[1])
+		}
+	}
+	// No SM hosts two blocks.
+	for sm := 0; sm < cfg.NumSMs(); sm++ {
+		if s.Load(sm) != 1 {
+			t.Errorf("SM %d load = %d, want 1", sm, s.Load(sm))
+		}
+	}
+}
+
+// TestGPCInterleave: the first NumGPCs blocks land in distinct GPCs.
+func TestGPCInterleave(t *testing.T) {
+	cfg := config.Volta()
+	s := mkSched(t, cfg)
+	blocks, err := s.Assign(cfg.NumGPCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, smID := range blocks {
+		g := cfg.GPCOfSM(smID)
+		if seen[g] {
+			t.Fatalf("two early blocks in GPC %d", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	s := mkSched(t, config.Small())
+	if _, err := s.Assign(0); err == nil {
+		t.Error("zero blocks should fail")
+	}
+	if _, err := s.Assign(-3); err == nil {
+		t.Error("negative blocks should fail")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	cfg := config.Small()
+	s := mkSched(t, cfg)
+	blocks, err := s.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Load(blocks[0]) != 0 {
+		t.Error("release did not decrement load")
+	}
+	if err := s.Release(blocks[0]); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := s.Release(-1); err == nil {
+		t.Error("bad SM id should fail")
+	}
+}
+
+// TestReleaseReuse: freed SMs are preferred over loaded ones.
+func TestReleaseReuse(t *testing.T) {
+	cfg := config.Small()
+	s := mkSched(t, cfg)
+	first, err := s.Assign(cfg.NumSMs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := first[3]
+	if err := s.Release(victim); err != nil {
+		t.Fatal(err)
+	}
+	next, err := s.Assign(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0] != victim {
+		t.Errorf("new block landed on SM %d, want freed SM %d", next[0], victim)
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	for _, cfg := range []config.Config{config.Volta(), config.Small()} {
+		s := mkSched(t, cfg)
+		order := s.Order()
+		if len(order) != cfg.NumSMs() {
+			t.Fatalf("%s: order has %d entries, want %d", cfg.Name, len(order), cfg.NumSMs())
+		}
+		seen := make(map[int]bool)
+		for _, smID := range order {
+			if smID < 0 || smID >= cfg.NumSMs() || seen[smID] {
+				t.Fatalf("%s: order %v is not a permutation", cfg.Name, order)
+			}
+			seen[smID] = true
+		}
+	}
+}
+
+// Property: assigning k blocks (k <= NumSMs) on a fresh GPU never doubles up
+// an SM, and TPC double-occupancy only begins after all TPCs are used.
+func TestQuickNoEarlyDoubling(t *testing.T) {
+	cfg := config.Volta()
+	f := func(raw uint8) bool {
+		k := int(raw)%cfg.NumSMs() + 1
+		s, err := New(&cfg)
+		if err != nil {
+			return false
+		}
+		blocks, err := s.Assign(k)
+		if err != nil {
+			return false
+		}
+		smSeen := make(map[int]int)
+		tpcSeen := make(map[int]int)
+		for _, smID := range blocks {
+			smSeen[smID]++
+			tpcSeen[cfg.TPCOfSM(smID)]++
+		}
+		for _, n := range smSeen {
+			if n > 1 {
+				return false
+			}
+		}
+		if k <= cfg.NumTPCs() {
+			for _, n := range tpcSeen {
+				if n > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
