@@ -1,10 +1,12 @@
 package gpunoc
 
 // The benchmark harness regenerates every table and figure of the paper's
-// evaluation. Each benchmark runs the corresponding experiment on the full
-// Volta topology (or the small topology under -short), reports the headline
-// values as custom metrics, and asserts the paper's qualitative shape via
-// the experiment's Check function. Run everything with:
+// evaluation. Experiments come from the internal/experiments registry — the
+// same one cmd/ccbench runs — so a newly registered experiment shows up here
+// with no harness edits. Each sub-benchmark runs one artifact on the full
+// Volta topology (or the small topology under -short), asserts the paper's
+// qualitative shape via the experiment's Check function, and reports its
+// headline values as custom metrics. Run everything with:
 //
 //	go test -bench=. -benchmem
 //
@@ -12,6 +14,8 @@ package gpunoc
 // by what factor, where crossovers fall) are what reproduce the paper.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"gpunoc/internal/config"
@@ -29,267 +33,57 @@ func benchOpts() experiments.Options {
 	return experiments.Options{Scale: experiments.Quick, Seed: 5}
 }
 
-// BenchmarkFig02_TPCReverseEngineering regenerates Fig 2: SM0's execution
-// time against every co-activated SM, exposing the shared TPC channel.
-func BenchmarkFig02_TPCReverseEngineering(b *testing.B) {
+// BenchmarkExperiments runs every registered paper artifact as a
+// sub-benchmark (e.g. -bench=Experiments/fig10), with its shape Check
+// applied and its headline metrics reported.
+func BenchmarkExperiments(b *testing.B) {
 	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig2(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig2(f); err != nil {
-			b.Fatal(err)
-		}
-		s := f.Series[0]
-		peak := 0.0
-		for _, y := range s.Y {
-			if y > peak {
-				peak = y
+	runner := experiments.Runner{Parallel: 1, Options: benchOpts(), Check: true}
+	for _, e := range experiments.All() {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			var last experiments.Result
+			for i := 0; i < b.N; i++ {
+				results, err := runner.Run(&cfg, []string{e.ID})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = results[0]
+				if last.Err != nil {
+					b.Fatal(last.Err)
+				}
 			}
-		}
-		b.ReportMetric(peak, "peak-slowdown-x")
-	}
-}
-
-// BenchmarkFig03_GPCReverseEngineering regenerates Fig 3 for TPC0 (and TPC5
-// on the full topology): mean reference execution time per probe TPC.
-func BenchmarkFig03_GPCReverseEngineering(b *testing.B) {
-	cfg := benchConfig(b)
-	refs := []int{0}
-	if cfg.NumTPCs() > 5 {
-		refs = append(refs, 5)
-	}
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig3(&cfg, refs, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(f.Series) != len(refs) {
-			b.Fatalf("series = %d", len(f.Series))
-		}
-	}
-}
-
-// BenchmarkFig04_CoreMapping regenerates Fig 4: the recovered TPC->GPC map.
-func BenchmarkFig04_CoreMapping(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig4(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(len(f.Rows)), "groups")
-	}
-}
-
-// BenchmarkFig05_ContentionCharacteristics regenerates Fig 5: the read/write
-// asymmetry on TPC and GPC channels.
-func BenchmarkFig05_ContentionCharacteristics(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig5(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig5(f); err != nil {
-			b.Fatal(err)
-		}
-		for _, s := range f.Series {
-			if s.Name == "GPC read" {
-				b.ReportMetric(s.Y[len(s.Y)-1], "gpc-read-slowdown-x")
+			b.ReportMetric(float64(last.Cycles), "sim-cycles")
+			if e.Metrics != nil {
+				for name, v := range e.Metrics(last.Figure) {
+					b.ReportMetric(v, name)
+				}
 			}
-			if s.Name == "TPC write" {
-				b.ReportMetric(s.Y[len(s.Y)-1], "tpc-write-slowdown-x")
+		})
+	}
+}
+
+// BenchmarkSuite measures the whole registered suite end to end,
+// sequentially and with a GOMAXPROCS-wide worker pool — the wall-clock
+// numbers quoted in EXPERIMENTS.md.
+func BenchmarkSuite(b *testing.B) {
+	cfg := benchConfig(b)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			runner := experiments.Runner{Parallel: workers, Options: benchOpts()}
+			for i := 0; i < b.N; i++ {
+				results, err := runner.Run(&cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatalf("%s: %v", res.Experiment.ID, res.Err)
+					}
+				}
 			}
-		}
-	}
-}
-
-// BenchmarkFig06_ClockSurvey regenerates Fig 6 and the §4.1 skew statistics.
-func BenchmarkFig06_ClockSurvey(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(&cfg, benchOpts()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFig08_MuxSharing regenerates Fig 8: SM0's time versus contender
-// traffic fraction, same-TPC vs different-TPC.
-func BenchmarkFig08_MuxSharing(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig8(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig8(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFig09_SyncTrace regenerates Fig 9: the '0101...' latency trace
-// with and without periodic clock synchronization.
-func BenchmarkFig09_SyncTrace(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9(&cfg, benchOpts()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFig10_CovertChannel regenerates Fig 10: bitrate and error rate
-// over the iteration sweep for TPC, multi-TPC, GPC, and multi-GPC channels.
-// This is the headline experiment (the ~24 Mbps multi-TPC point).
-func BenchmarkFig10_CovertChannel(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig10(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig10(f, cfg.NumTPCs()); err != nil {
-			b.Fatal(err)
-		}
-		for _, s := range f.Series {
-			switch s.Name {
-			case "multi-TPC bitrate (kbps)":
-				b.ReportMetric(s.Y[3]*1e3/1e6, "multi-tpc-Mbps")
-			case "TPC bitrate (kbps)":
-				b.ReportMetric(s.Y[3], "tpc-kbps")
-			case "multi-GPC bitrate (kbps)":
-				b.ReportMetric(s.Y[3]*1e3/1e6, "multi-gpc-Mbps")
-			}
-		}
-	}
-}
-
-// BenchmarkFig11_GPCLeakage regenerates Fig 11: GPC-channel leakage slope
-// for same-GPC vs different-GPC senders.
-func BenchmarkFig11_GPCLeakage(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig11(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig11(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFig13_Coalescing regenerates Fig 13: error rate across the four
-// sender/receiver coalescing combinations.
-func BenchmarkFig13_Coalescing(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig13(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig13(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFig14_MultiLevel regenerates Fig 14: the 2-bit channel trace and
-// its bandwidth gain over the binary channel (§5: ~1.6x).
-func BenchmarkFig14_MultiLevel(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig14(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig14(f); err != nil {
-			b.Fatal(err)
-		}
-		for _, s := range f.Series {
-			if s.Name == "bandwidth gain" {
-				b.ReportMetric(s.Y[0], "gain-x")
-			}
-		}
-	}
-}
-
-// BenchmarkFig15_Arbitration regenerates Fig 15 (the §6 simulation): SM0's
-// time under RR/CRR/SRR as SM1's traffic grows.
-func BenchmarkFig15_Arbitration(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.Fig15(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckFig15(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkTable2_Comparison regenerates the measurable half of Table 2: all
-// channels (ours plus the prior-work baselines) on one GPU.
-func BenchmarkTable2_Comparison(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		_, rows, err := experiments.Table2(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckTable2(rows); err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if r.Name == "GPU multi-TPC channel (this work)" {
-				b.ReportMetric(r.Kbps/1e3, "multi-tpc-Mbps")
-			}
-		}
-	}
-}
-
-// BenchmarkSRRDefeat demonstrates the countermeasure end to end: the channel
-// works under RR and collapses under SRR.
-func BenchmarkSRRDefeat(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.SRRChannelDefeat(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckSRRChannelDefeat(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkSRRTradeoff quantifies the §6 cost of strict round-robin on
-// memory-bound vs compute-bound kernels.
-func BenchmarkSRRTradeoff(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.SRRTradeoff(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckSRRTradeoff(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkMPSOverhead quantifies the §2.2 one-time launch-skew cost.
-func BenchmarkMPSOverhead(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MPSOverhead(&cfg, benchOpts()); err != nil {
-			b.Fatal(err)
-		}
+		})
 	}
 }
 
@@ -319,89 +113,4 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
-}
-
-// BenchmarkNoise regenerates the §5 noise study: channel quality under a
-// third kernel's L2 traffic.
-func BenchmarkNoise(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.NoiseExperiment(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckNoise(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkAblationSenderWarps sweeps the sender warp count (why the paper
-// uses 5 warps).
-func BenchmarkAblationSenderWarps(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SenderWarpsAblation(&cfg, benchOpts()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkAblationSlot sweeps the timing-slot length (the §4.4 guidance).
-func BenchmarkAblationSlot(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.SlotAblation(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckSlotAblation(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkAblationSpeedup sweeps the GPC reply-channel speedup, the
-// calibration surface behind Fig 5b's 2.14x.
-func BenchmarkAblationSpeedup(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.SpeedupAblation(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckSpeedupAblation(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkClockFuzz regenerates the §6 clock-fuzzing discussion: the
-// countermeasure degrades the channel but a wider slot recovers it.
-func BenchmarkClockFuzz(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.ClockFuzzExperiment(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckClockFuzz(f); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkSideChannel regenerates the §5 side-channel sketch: the linear
-// correlation between a victim's L2 traffic and the spy's NoC latency.
-func BenchmarkSideChannel(b *testing.B) {
-	cfg := benchConfig(b)
-	for i := 0; i < b.N; i++ {
-		f, err := experiments.SideChannelExperiment(&cfg, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.CheckSideChannel(f); err != nil {
-			b.Fatal(err)
-		}
-	}
 }

@@ -1,17 +1,28 @@
 // Command ccbench regenerates the paper's tables and figures on the
 // simulated GPU and prints them as a plain-text report. It is the
-// command-line face of the internal/experiments harness; the testing.B
-// benchmarks at the repository root wrap the same functions.
+// command-line face of the internal/experiments harness: experiments come
+// from the package registry (every Fig*/Table* registers itself), and a
+// bounded worker pool runs them concurrently — each experiment owns its
+// engine instances, so the suite parallelizes across experiments. Per-
+// experiment seeds are derived from the suite seed and the experiment id,
+// which makes the report byte-identical at any -parallel setting.
 //
 // Usage:
 //
-//	ccbench [-config volta|small] [-scale quick|full] [-seed N] [-only fig10,table2,...]
+//	ccbench [-config volta|small] [-scale quick|full] [-seed N]
+//	        [-only fig10,table2,...] [-parallel N] [-check] [-csv DIR]
+//	ccbench -list
+//
+// The report goes to stdout; a per-experiment timing/cycles summary goes to
+// stderr (wall times vary run to run, so they are kept out of the
+// deterministic stream).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gpunoc/internal/config"
@@ -21,10 +32,20 @@ import (
 func main() {
 	cfgName := flag.String("config", "volta", "GPU configuration: volta or small")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
-	seed := flag.Int64("seed", 1, "deterministic seed for all noise sources")
-	only := flag.String("only", "", "comma-separated subset of experiments (e.g. fig10,table2)")
-	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	seed := flag.Int64("seed", 1, "suite seed; each experiment derives its own seed from it")
+	only := flag.String("only", "", "comma-separated subset of experiments (see -list)")
+	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into (created if missing)")
+	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
+	check := flag.Bool("check", false, "also assert each experiment's paper-shape Check")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %-28s %s\n", e.ID, e.Section, e.Title)
+		}
+		return
+	}
 
 	var cfg config.Config
 	switch *cfgName {
@@ -36,7 +57,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccbench: unknown config %q\n", *cfgName)
 		os.Exit(2)
 	}
-	cfg.Seed = *seed
 
 	opt := experiments.Options{Seed: *seed}
 	switch *scaleName {
@@ -49,72 +69,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	selected := map[string]bool{}
+	var ids []string
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(id)] = true
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
-	type runner struct {
-		id  string
-		run func() (*experiments.Figure, error)
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: creating %s: %v\n", *csvDir, err)
+			os.Exit(2)
+		}
 	}
-	refs := []int{0}
-	if cfg.NumTPCs() > 5 {
-		refs = append(refs, 5)
+
+	runner := experiments.Runner{
+		Parallel: *parallel,
+		Options:  opt,
+		Check:    *check,
 	}
-	runners := []runner{
-		{"table1", func() (*experiments.Figure, error) { return experiments.Table1(&cfg), nil }},
-		{"fig2", func() (*experiments.Figure, error) { return experiments.Fig2(&cfg, opt) }},
-		{"fig3", func() (*experiments.Figure, error) { return experiments.Fig3(&cfg, refs, opt) }},
-		{"fig4", func() (*experiments.Figure, error) { return experiments.Fig4(&cfg, opt) }},
-		{"fig5", func() (*experiments.Figure, error) { return experiments.Fig5(&cfg, opt) }},
-		{"fig6", func() (*experiments.Figure, error) { return experiments.Fig6(&cfg, opt) }},
-		{"fig8", func() (*experiments.Figure, error) { return experiments.Fig8(&cfg, opt) }},
-		{"fig9", func() (*experiments.Figure, error) { return experiments.Fig9(&cfg, opt) }},
-		{"fig10", func() (*experiments.Figure, error) { return experiments.Fig10(&cfg, opt) }},
-		{"fig11", func() (*experiments.Figure, error) { return experiments.Fig11(&cfg, opt) }},
-		{"fig13", func() (*experiments.Figure, error) { return experiments.Fig13(&cfg, opt) }},
-		{"fig14", func() (*experiments.Figure, error) { return experiments.Fig14(&cfg, opt) }},
-		{"fig15", func() (*experiments.Figure, error) { return experiments.Fig15(&cfg, opt) }},
-		{"srr-defeat", func() (*experiments.Figure, error) { return experiments.SRRChannelDefeat(&cfg, opt) }},
-		{"srr-tradeoff", func() (*experiments.Figure, error) { return experiments.SRRTradeoff(&cfg, opt) }},
-		{"mps", func() (*experiments.Figure, error) { return experiments.MPSOverhead(&cfg, opt) }},
-		{"noise", func() (*experiments.Figure, error) { return experiments.NoiseExperiment(&cfg, opt) }},
-		{"ablation-warps", func() (*experiments.Figure, error) { return experiments.SenderWarpsAblation(&cfg, opt) }},
-		{"ablation-slot", func() (*experiments.Figure, error) { return experiments.SlotAblation(&cfg, opt) }},
-		{"ablation-speedup", func() (*experiments.Figure, error) { return experiments.SpeedupAblation(&cfg, opt) }},
-		{"clock-fuzz", func() (*experiments.Figure, error) { return experiments.ClockFuzzExperiment(&cfg, opt) }},
-		{"side-channel", func() (*experiments.Figure, error) { return experiments.SideChannelExperiment(&cfg, opt) }},
-		{"table2", func() (*experiments.Figure, error) {
-			f, _, err := experiments.Table2(&cfg, opt)
-			return f, err
-		}},
+	results, err := runner.Run(&cfg, ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	fmt.Printf("gpunoc ccbench: config=%s scale=%s seed=%d\n\n", cfg.Name, *scaleName, *seed)
+	fmt.Print(experiments.Report(results))
+
 	failed := false
-	for _, r := range runners {
-		if !want(r.id) {
-			continue
-		}
-		f, err := r.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: %s failed: %v\n", r.id, err)
+	for _, res := range results {
+		if res.Err != nil {
 			failed = true
 			continue
 		}
-		fmt.Println(f.Render())
 		if *csvDir != "" {
-			path := fmt.Sprintf("%s/%s.csv", *csvDir, f.ID)
-			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+			path := filepath.Join(*csvDir, res.Figure.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.Figure.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", path, err)
 				failed = true
 			}
 		}
 	}
+
+	fmt.Fprint(os.Stderr, experiments.Summary(results))
 	if failed {
 		os.Exit(1)
 	}

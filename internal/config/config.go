@@ -7,6 +7,7 @@ package config
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // ArbPolicy selects the arbitration algorithm used by NoC muxes (§6).
@@ -157,6 +158,34 @@ type Config struct {
 	ClockGPCSpreadHi uint32 // per-GPC base clock offsets span (Fig 6: ~0..5e9 scaled to 32-bit)
 
 	Seed int64 // deterministic RNG seed for all noise sources
+
+	// Meter, when non-nil, accumulates the number of simulated cycles
+	// executed by every engine instance built from this configuration
+	// (copies of the Config share the pointer). The experiment runner
+	// attaches one meter per experiment to attribute simulation work even
+	// when experiments run concurrently. It never influences simulation
+	// behavior and is ignored by Validate.
+	Meter *CycleMeter
+}
+
+// CycleMeter is a concurrency-safe counter of simulated engine cycles. The
+// zero value is ready to use; both methods are safe on a nil receiver, so
+// unmetered configurations pay only a nil check.
+type CycleMeter struct{ n atomic.Uint64 }
+
+// Add records n additional simulated cycles.
+func (m *CycleMeter) Add(n uint64) {
+	if m != nil {
+		m.n.Add(n)
+	}
+}
+
+// Load returns the cycles recorded so far (0 on a nil meter).
+func (m *CycleMeter) Load() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.n.Load()
 }
 
 // Volta returns the Table 1 configuration: a Volta V100-like GPU with 40

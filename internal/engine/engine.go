@@ -211,16 +211,20 @@ func (g *GPU) RunFor(n uint64) {
 	for i := uint64(0); i < n; i++ {
 		g.step()
 	}
+	g.cfg.Meter.Add(n)
 }
 
 // RunUntil advances the simulation until cond returns true or the cycle
 // budget is exhausted; it reports whether cond fired.
 func (g *GPU) RunUntil(cond func() bool, budget uint64) bool {
+	ran := uint64(0)
+	defer func() { g.cfg.Meter.Add(ran) }()
 	for i := uint64(0); i < budget; i++ {
 		if cond() {
 			return true
 		}
 		g.step()
+		ran++
 	}
 	return cond()
 }

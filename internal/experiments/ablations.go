@@ -11,6 +11,64 @@ import (
 	"gpunoc/internal/warp"
 )
 
+// The §5 noise / side-channel studies and the beyond-the-paper ablations
+// register themselves with the experiment registry.
+func init() {
+	MustRegister(Experiment{
+		ID: "noise", Order: 170,
+		Title:   "Channel quality under a third kernel's L2 traffic",
+		Section: "§5 (impact of noise)",
+		Run:     NoiseExperiment,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckNoise(f) },
+	})
+	MustRegister(Experiment{
+		ID: "ablation-warps", Order: 180,
+		Title:   "Sender warp count sweep (why the paper uses 5 warps)",
+		Section: "beyond the paper (§4.4 operating point)",
+		Run:     SenderWarpsAblation,
+		Check: func(_ *config.Config, f *Figure) error {
+			s, ok := f.seriesByName("error rate")
+			if !ok {
+				return fmt.Errorf("ablation-warps: missing error-rate series")
+			}
+			for i, x := range s.X {
+				if x == 5 && s.Y[i] > 0.1 {
+					return fmt.Errorf("ablation-warps: 5-warp sender error %.3f", s.Y[i])
+				}
+			}
+			return nil
+		},
+	})
+	MustRegister(Experiment{
+		ID: "ablation-slot", Order: 190,
+		Title:   "Timing-slot length sweep (the §4.4 slot guidance)",
+		Section: "beyond the paper (§4.4 slot length)",
+		Run:     SlotAblation,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckSlotAblation(f) },
+	})
+	MustRegister(Experiment{
+		ID: "ablation-speedup", Order: 200,
+		Title:   "GPC reply-channel speedup sweep (the Fig 5b calibration surface)",
+		Section: "beyond the paper (calibration)",
+		Run:     SpeedupAblation,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckSpeedupAblation(f) },
+	})
+	MustRegister(Experiment{
+		ID: "clock-fuzz", Order: 210,
+		Title:   "Clock fuzzing degrades the channel; a wider slot recovers it",
+		Section: "§6 (clock fuzzing)",
+		Run:     ClockFuzzExperiment,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckClockFuzz(f) },
+	})
+	MustRegister(Experiment{
+		ID: "side-channel", Order: 220,
+		Title:   "Linear correlation between victim L2 traffic and spy NoC latency",
+		Section: "§5 (side channel)",
+		Run:     SideChannelExperiment,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckSideChannel(f) },
+	})
+}
+
 // NoiseExperiment examines the §5 "Impact of Noise" analysis: a third
 // kernel streams reads through the L2 while a single-TPC covert channel
 // runs. Placement decides everything. A third kernel confined to other GPCs

@@ -7,6 +7,77 @@ import (
 	"gpunoc/internal/core"
 )
 
+// The covert-channel artifacts (§4–§5) register themselves with the
+// experiment registry.
+func init() {
+	MustRegister(Experiment{
+		ID: "fig9", Order: 80,
+		Title:   "'0101...' latency trace, slot-only vs slot+synchronization",
+		Section: "§4.2, Figure 9",
+		Run:     Fig9,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig9(f, nil) },
+	})
+	MustRegister(Experiment{
+		ID: "fig10", Order: 90,
+		Title:   "Bitrate and error rate over the iteration sweep, all channel variants",
+		Section: "§4.5, Figure 10",
+		Run:     Fig10,
+		Check: func(cfg *config.Config, f *Figure) error {
+			return CheckFig10(f, cfg.NumTPCs())
+		},
+		Metrics: func(f *Figure) map[string]float64 {
+			m := map[string]float64{}
+			if s, ok := f.seriesByName("multi-TPC bitrate (kbps)"); ok && len(s.Y) > 3 {
+				m["multi-tpc-Mbps"] = s.Y[3] * 1e3 / 1e6
+			}
+			if s, ok := f.seriesByName("TPC bitrate (kbps)"); ok && len(s.Y) > 3 {
+				m["tpc-kbps"] = s.Y[3]
+			}
+			if s, ok := f.seriesByName("multi-GPC bitrate (kbps)"); ok && len(s.Y) > 3 {
+				m["multi-gpc-Mbps"] = s.Y[3] * 1e3 / 1e6
+			}
+			return m
+		},
+	})
+	MustRegister(Experiment{
+		ID: "fig13", Order: 110,
+		Title:   "Error rate across the sender/receiver coalescing combinations",
+		Section: "§5, Figure 13",
+		Run:     Fig13,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig13(f) },
+	})
+	MustRegister(Experiment{
+		ID: "fig14", Order: 120,
+		Title:   "2-bit multi-level channel trace and bandwidth gain",
+		Section: "§5, Figure 14",
+		Run:     Fig14,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig14(f) },
+		Metrics: func(f *Figure) map[string]float64 {
+			if s, ok := f.seriesByName("bandwidth gain"); ok && len(s.Y) > 0 {
+				return map[string]float64{"gain-x": s.Y[0]}
+			}
+			return nil
+		},
+	})
+	MustRegister(Experiment{
+		ID: "mps", Order: 160,
+		Title:   "MPS-style launch skew: one-time synchronization overhead only",
+		Section: "§2.2 (MPS launch skew)",
+		Run:     MPSOverhead,
+		Check: func(_ *config.Config, f *Figure) error {
+			if len(f.Rows) != 3 {
+				return fmt.Errorf("mps: %d rows, want 3", len(f.Rows))
+			}
+			for _, s := range f.Series {
+				if len(s.Y) > 0 && s.Y[0] > 0.1 {
+					return fmt.Errorf("mps: %s error rate %.3f", s.Name, s.Y[0])
+				}
+			}
+			return nil
+		},
+	})
+}
+
 // calibratedParams runs the §4.4 empirical threshold determination once per
 // (kind, iterations) pair.
 func calibratedParams(cfg *config.Config, kind core.Kind, iterations, bitsPerSymbol int, seed int64) (core.Params, error) {

@@ -8,6 +8,98 @@ import (
 	"gpunoc/internal/stats"
 )
 
+// The contention / reverse-engineering artifacts (§3) register themselves
+// with the experiment registry; cmd/ccbench and bench_test.go discover them
+// from there.
+func init() {
+	MustRegister(Experiment{
+		ID: "fig2", Order: 20,
+		Title:   "TPC pairing: SM0's execution time against every co-activated SM",
+		Section: "§3.1, Figure 2",
+		Run:     Fig2,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig2(f) },
+		Metrics: func(f *Figure) map[string]float64 {
+			peak := 0.0
+			for _, y := range f.Series[0].Y {
+				if y > peak {
+					peak = y
+				}
+			}
+			return map[string]float64{"peak-slowdown-x": peak}
+		},
+	})
+	MustRegister(Experiment{
+		ID: "fig3", Order: 30,
+		Title:   "GPC grouping probe: reference TPC latency per probe TPC",
+		Section: "§3.2, Figure 3",
+		Run: func(cfg *config.Config, opt Options) (*Figure, error) {
+			return Fig3(cfg, fig3Refs(cfg), opt)
+		},
+		Check: func(cfg *config.Config, f *Figure) error {
+			if want := len(fig3Refs(cfg)); len(f.Series) != want {
+				return fmt.Errorf("fig3: %d series, want %d", len(f.Series), want)
+			}
+			return nil
+		},
+	})
+	MustRegister(Experiment{
+		ID: "fig4", Order: 40,
+		Title:   "Recovered TPC-to-GPC mapping",
+		Section: "§3.3, Figure 4",
+		Run:     Fig4,
+		Metrics: func(f *Figure) map[string]float64 {
+			return map[string]float64{"groups": float64(len(f.Rows))}
+		},
+	})
+	MustRegister(Experiment{
+		ID: "fig5", Order: 50,
+		Title:   "Read/write contention asymmetry on the TPC and GPC channels",
+		Section: "§3.4, Figure 5",
+		Run:     Fig5,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig5(f) },
+		Metrics: func(f *Figure) map[string]float64 {
+			m := map[string]float64{}
+			if s, ok := f.seriesByName("GPC read"); ok && len(s.Y) > 0 {
+				m["gpc-read-slowdown-x"] = s.Y[len(s.Y)-1]
+			}
+			if s, ok := f.seriesByName("TPC write"); ok && len(s.Y) > 0 {
+				m["tpc-write-slowdown-x"] = s.Y[len(s.Y)-1]
+			}
+			return m
+		},
+	})
+	MustRegister(Experiment{
+		ID: "fig6", Order: 60,
+		Title:   "clock() survey and the §4.1 skew statistics",
+		Section: "§4.1, Figure 6",
+		Run:     Fig6,
+	})
+	MustRegister(Experiment{
+		ID: "fig8", Order: 70,
+		Title:   "Mux sharing: SM0's time versus contender traffic fraction",
+		Section: "§3.4, Figure 8",
+		Run:     Fig8,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig8(f) },
+	})
+	MustRegister(Experiment{
+		ID: "fig11", Order: 100,
+		Title:   "GPC-channel leakage slope, same-GPC vs different-GPC senders",
+		Section: "§4.5, Figure 11",
+		Run:     Fig11,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig11(f) },
+	})
+}
+
+// fig3Refs picks the reference TPCs Fig 3 probes from: TPC0 always, plus
+// TPC5 when the topology has one (the paper shows both).
+func fig3Refs(cfg *config.Config) []int {
+	refs := []int{0}
+	if cfg.NumTPCs() > 5 {
+		refs = append(refs, 5)
+	}
+	return refs
+}
+
 // Fig2 regenerates Figure 2: the Algorithm 1 write benchmark runs on SM0
 // concurrently with each other SM; only the TPC mate (SM1) doubles SM0's
 // execution time.

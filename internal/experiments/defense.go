@@ -12,6 +12,32 @@ import (
 
 func newGPU(cfg *config.Config) (*engine.GPU, error) { return engine.New(*cfg) }
 
+// The countermeasure artifacts (§6) register themselves with the experiment
+// registry.
+func init() {
+	MustRegister(Experiment{
+		ID: "fig15", Order: 130,
+		Title:   "SM0's time under RR/CRR/SRR arbitration as SM1's traffic grows",
+		Section: "§6, Figure 15",
+		Run:     Fig15,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckFig15(f) },
+	})
+	MustRegister(Experiment{
+		ID: "srr-defeat", Order: 140,
+		Title:   "The channel works under RR and collapses under SRR",
+		Section: "§6 (channel under SRR)",
+		Run:     SRRChannelDefeat,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckSRRChannelDefeat(f) },
+	})
+	MustRegister(Experiment{
+		ID: "srr-tradeoff", Order: 150,
+		Title:   "SRR cost on memory-bound vs compute-bound kernels",
+		Section: "§6 (SRR performance cost)",
+		Run:     SRRTradeoff,
+		Check:   func(_ *config.Config, f *Figure) error { return CheckSRRTradeoff(f) },
+	})
+}
+
 // Fig15 regenerates Figure 15 (the §6 simulation): SM0 and SM1 each run two
 // warps of continuous write traffic; SM1's traffic volume sweeps from 0 to
 // 100% of SM0's, under RR, CRR, and SRR arbitration. Each curve is

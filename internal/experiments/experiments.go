@@ -1,8 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation on the simulated GPU. Each Fig*/Table* function runs the
-// corresponding workload and returns the same rows/series the paper reports;
-// the bench harness at the repository root exposes one testing.B per
-// artifact, and cmd/ccbench renders the full set as a report.
+// corresponding workload and returns the same rows/series the paper
+// reports, and registers itself (id, paper section, run/check functions) in
+// the package Registry; cmd/ccbench and the bench harness at the repository
+// root discover the full artifact set from there.
+//
+// The Runner fans registered experiments out over a bounded worker pool —
+// the engine is single-goroutine, so parallelism lives across the
+// independent engine instances each experiment builds. Per-experiment seeds
+// derive from the suite seed and the experiment id (DeriveSeed), making
+// Report output byte-identical at any worker count.
 //
 // Absolute numbers differ from the paper (the substrate is a calibrated
 // simulator, not a V100), but each function documents the shape that must

@@ -2,11 +2,52 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"gpunoc/internal/baseline"
 	"gpunoc/internal/config"
 	"gpunoc/internal/core"
 )
+
+// The paper's tables register themselves with the experiment registry.
+func init() {
+	MustRegister(Experiment{
+		ID: "table1", Order: 10,
+		Title:   "Simulation configuration parameters, read back from the live config",
+		Section: "Table 1",
+		Run: func(cfg *config.Config, _ Options) (*Figure, error) {
+			return Table1(cfg), nil
+		},
+		Check: func(_ *config.Config, f *Figure) error {
+			if len(f.Rows) != 4 {
+				return fmt.Errorf("table1: %d rows, want 4", len(f.Rows))
+			}
+			return nil
+		},
+	})
+	MustRegister(Experiment{
+		ID: "table2", Order: 230,
+		Title:   "Measured comparison of all channels against the prior-work baselines",
+		Section: "§7, Table 2",
+		Run: func(cfg *config.Config, opt Options) (*Figure, error) {
+			f, _, err := Table2(cfg, opt)
+			return f, err
+		},
+		Check: func(_ *config.Config, f *Figure) error { return CheckTable2Figure(f) },
+		Metrics: func(f *Figure) map[string]float64 {
+			rows, err := table2RowsFromFigure(f)
+			if err != nil {
+				return nil
+			}
+			for _, r := range rows {
+				if r.Name == "GPU multi-TPC channel (this work)" {
+					return map[string]float64{"multi-tpc-Mbps": r.Kbps / 1e3}
+				}
+			}
+			return nil
+		},
+	})
+}
 
 // Table1 renders the simulation configuration parameters (the paper's
 // Table 1), read back from the live config so the report always matches what
@@ -131,6 +172,36 @@ func Table2(cfg *config.Config, opt Options) (*Figure, []Table2Row, error) {
 			ErrorRate: res.ErrorRate, Kbps: res.BitsPerSecond / 1e3})
 	}
 	return f, rows, nil
+}
+
+// table2RowsFromFigure recovers the measured columns from a rendered Table 2
+// figure, so shape checks can run on the registry's uniform *Figure result.
+func table2RowsFromFigure(f *Figure) ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, len(f.Rows))
+	for _, row := range f.Rows {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("table2: row has %d columns, want 7", len(row))
+		}
+		er, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("table2: bad error rate %q: %v", row[5], err)
+		}
+		kbps, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("table2: bad bandwidth %q: %v", row[6], err)
+		}
+		rows = append(rows, Table2Row{Name: row[0], ErrorRate: er, Kbps: kbps})
+	}
+	return rows, nil
+}
+
+// CheckTable2Figure applies CheckTable2 to a rendered Table 2 figure.
+func CheckTable2Figure(f *Figure) error {
+	rows, err := table2RowsFromFigure(f)
+	if err != nil {
+		return err
+	}
+	return CheckTable2(rows)
 }
 
 // CheckTable2 asserts the ordering the paper's comparison makes: the
