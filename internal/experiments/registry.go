@@ -122,6 +122,11 @@ func (r *Registry) IDs() []string {
 
 // defaultRegistry holds every experiment in this package; the init funcs in
 // ablations.go, channel.go, contention.go, defense.go, and tables.go fill it.
+// It is the documented exception to the no-package-state rule: init()
+// self-registration writes it exactly once, before main starts, and every
+// read afterwards goes through the registry's own mutex.
+//
+//lint:allow purity registry filled once by init() self-registration, mutex-guarded afterwards
 var defaultRegistry = NewRegistry()
 
 // Register adds an experiment to the default registry.

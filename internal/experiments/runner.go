@@ -128,7 +128,7 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 	opt := r.Options
 	opt.Seed = seed
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall time feeds the stderr Summary only, never the deterministic Report
 	f, err := e.Run(&c, opt)
 	if err == nil && r.Check && e.Check != nil {
 		if cerr := e.Check(&c, f); cerr != nil {
@@ -140,7 +140,7 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 		Seed:       seed,
 		Figure:     f,
 		Err:        err,
-		Wall:       time.Since(start),
+		Wall:       time.Since(start), //lint:allow determinism wall time feeds the stderr Summary only, never the deterministic Report
 		Cycles:     c.Meter.Load(),
 	}
 }

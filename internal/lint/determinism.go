@@ -1,0 +1,207 @@
+// The determinism analyzer. Simulator results must be a pure function of
+// config.Config, so simulator packages may not read the wall clock or the
+// environment, may not draw from the globally seeded math/rand source, and
+// may not let map iteration order leak into anything returned or printed.
+//
+// The map-order check is a heuristic: a `range` over a map is flagged when
+// its body feeds an order-sensitive sink (an append to a variable declared
+// outside the loop, or a print/write call) and no sort call follows the loop
+// inside the same function. Writes keyed into another map are order-free and
+// are not flagged.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func determinismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "ban wall-clock, environment, global-RNG, and map-order dependence in simulator packages",
+		Run:  runDeterminism,
+	}
+}
+
+// orderedSinkCalls are callee names that emit values in program order, so
+// feeding them from a map range leaks iteration order.
+var orderedSinkNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Rules.Determinism.Scope.Match(pass.Pkg.Rel) {
+		return
+	}
+	banned := make(map[string]bool, len(pass.Rules.Determinism.BannedCalls))
+	for _, b := range pass.Rules.Determinism.BannedCalls {
+		banned[b] = true
+	}
+	globalRand := make(map[string]bool, len(pass.Rules.Determinism.GlobalRand))
+	for _, g := range pass.Rules.Determinism.GlobalRand {
+		globalRand[g] = true
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := pass.Pkg.Qualifier(f, sel)
+			if !ok {
+				return true
+			}
+			if key := path + "." + sel.Sel.Name; banned[key] {
+				pass.Report(sel.Pos(),
+					"%s reads ambient state; simulator code must be a pure function of config.Config (move it off the result path or //lint:allow determinism <reason>)",
+					key)
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && globalRand[sel.Sel.Name] {
+				pass.Report(sel.Pos(),
+					"%s.%s draws from the globally seeded source; build a *rand.Rand from the config/experiment seed instead",
+					path, sel.Sel.Name)
+			}
+			return true
+		})
+
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapRanges(pass, f, fd.Body)
+			}
+		}
+	}
+}
+
+// checkMapRanges flags map ranges inside body whose own body feeds an
+// ordered sink, unless a sort/slices call follows the loop within body.
+func checkMapRanges(pass *Pass, f *ast.File, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !pass.isMapExpr(rng.X) {
+			return true
+		}
+		sink := findOrderedSink(pass, rng)
+		if sink == "" {
+			return true
+		}
+		if sortFollows(pass, f, body, rng.End()) {
+			return true
+		}
+		pass.Report(rng.For,
+			"range over a map feeds %s; map iteration order is nondeterministic — sort before emitting (or //lint:allow determinism <reason>)",
+			sink)
+		return true
+	})
+}
+
+// isMapExpr reports whether e has map type, using type information when
+// available and falling back to the syntactic map-literal/make forms.
+func (p *Pass) isMapExpr(e ast.Expr) bool {
+	if p.Pkg.Info != nil {
+		if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Type != nil {
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		}
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// findOrderedSink returns a description of the first order-sensitive sink in
+// the range body, or "" when the body is order-free.
+func findOrderedSink(pass *Pass, rng *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && orderedSinkNames[name] {
+				sink = "a " + name + " call"
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && assignsOutsideLoop(pass, n, rng) {
+					sink = "an append to a variable declared outside the loop"
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// assignsOutsideLoop reports whether the assignment writes a variable whose
+// declaration lies outside the range statement.
+func assignsOutsideLoop(pass *Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) bool {
+	if pass.Pkg.Info == nil {
+		return assign.Tok == token.ASSIGN // `=` (not `:=`) means the target pre-exists
+	}
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Pkg.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// sortFollows reports whether a sort or slices call appears after pos within
+// the enclosing function body — the "intervening sort" that restores a
+// deterministic order before the collected values are used.
+func sortFollows(pass *Pass, f *ast.File, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if path, ok := pass.Pkg.Qualifier(f, sel); ok && (path == "sort" || path == "slices") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}

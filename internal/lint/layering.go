@@ -1,0 +1,64 @@
+// The layering analyzer: enforces the import DAG declared in rules.go (the
+// one-table form of the docs/ARCHITECTURE.md package map). Arrows only point
+// downward; a package may import exactly the module-local packages its table
+// entry lists, and a package with no entry is itself a finding so the table
+// grows with the module.
+
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+func layeringAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "layering",
+		Doc:  "enforce the import DAG declared in the layering table",
+		Run:  runLayering,
+	}
+}
+
+func runLayering(pass *Pass) {
+	rel := pass.Pkg.Rel
+	for _, root := range pass.Rules.Layering.Roots {
+		if strings.HasPrefix(rel, root) || rel == strings.TrimSuffix(root, "/") {
+			return // binaries and examples may import anything
+		}
+	}
+
+	allowed, ok := pass.Rules.Layering.Allowed[rel]
+	if !ok {
+		pass.Report(pass.Pkg.Files[0].Name.Pos(),
+			"package %q is not declared in the layering table; add it to Layering.Allowed in internal/lint/rules.go with the imports its layer permits",
+			pass.Pkg.Path)
+		return
+	}
+	allowedSet := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		allowedSet[a] = true
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			irel, local := moduleRel(pass.Pkg.Module, path)
+			if !local || allowedSet[irel] {
+				continue
+			}
+			pass.Report(imp.Pos(),
+				"layering violation: %q may not import %q (allowed: %s; see the layering table in internal/lint/rules.go)",
+				pass.Pkg.Path, path, describeAllowed(allowed))
+		}
+	}
+}
+
+func describeAllowed(allowed []string) string {
+	if len(allowed) == 0 {
+		return "no module-local imports"
+	}
+	return strings.Join(allowed, ", ")
+}

@@ -1,0 +1,321 @@
+// Package loading for the analyzers: a small, stdlib-only replacement for
+// golang.org/x/tools/go/packages. The loader walks a module tree, parses
+// every package (tests and testdata excluded), and type-checks bottom-up in
+// import order — module-local imports resolve to the freshly checked
+// packages, everything else falls back to a source-level stdlib importer.
+// Type information is best-effort: analyzers keep working (on syntax alone)
+// for packages that fail to check, since `go build` guards compilability.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	Module string // module path, e.g. "gpunoc"
+	Path   string // import path, e.g. "gpunoc/internal/noc"
+	Rel    string // module-relative dir, "" for the module root package
+	Dir    string // absolute directory
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types      *types.Package // nil if type-checking was impossible
+	Info       *types.Info
+	TypeErrors []error
+
+	localImports []string // module-relative paths this package imports
+}
+
+// Loader loads the packages of one module tree rooted at Dir. It never reads
+// go.mod: ModulePath is supplied by the caller, which lets the fixture tests
+// load testdata trees as if they were the real module.
+type Loader struct {
+	ModulePath string
+	Dir        string
+}
+
+// Load discovers every package under the module root, type-checks all of
+// them in dependency order, and returns the ones matching patterns (each a
+// module-relative dir, "." for the root package, or a "dir/..." prefix;
+// "./..." selects everything). Dependencies of a matched package are always
+// loaded so type information is complete, but only matches are returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(l.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byRel := make(map[string]*Package)
+	for _, dir := range dirs {
+		pkg, err := l.parseDir(fset, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			byRel[pkg.Rel] = pkg
+		}
+	}
+
+	l.typeCheck(fset, byRel)
+
+	var out []*Package
+	for rel, pkg := range byRel {
+		if matchPatterns(rel, patterns) {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out, nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil when
+// the directory holds no buildable Go source.
+func (l *Loader) parseDir(fset *token.FileSet, root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+
+	pkg := &Package{
+		Module: l.ModulePath,
+		Path:   joinImportPath(l.ModulePath, rel),
+		Rel:    rel,
+		Dir:    dir,
+		Fset:   fset,
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if irel, ok := moduleRel(l.ModulePath, path); ok && !seen[irel] {
+				seen[irel] = true
+				pkg.localImports = append(pkg.localImports, irel)
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	sort.Strings(pkg.localImports)
+	return pkg, nil
+}
+
+// typeCheck checks every package bottom-up in local-import order. Failures
+// (including import cycles, which a layering violation could introduce) are
+// recorded on the package and never abort the load.
+func (l *Loader) typeCheck(fset *token.FileSet, byRel map[string]*Package) {
+	res := &resolver{
+		module: l.ModulePath,
+		byRel:  byRel,
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	state := make(map[string]int) // 0 unvisited, 1 in progress, 2 done
+	var visit func(rel string)
+	visit = func(rel string) {
+		pkg := byRel[rel]
+		if pkg == nil || state[rel] == 2 {
+			return
+		}
+		if state[rel] == 1 {
+			pkg.TypeErrors = append(pkg.TypeErrors,
+				fmt.Errorf("lint: import cycle through %s", pkg.Path))
+			return
+		}
+		state[rel] = 1
+		for _, dep := range pkg.localImports {
+			if dep != rel {
+				visit(dep)
+			}
+		}
+		l.checkOne(fset, res, pkg)
+		state[rel] = 2
+	}
+	rels := make([]string, 0, len(byRel))
+	for rel := range byRel {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		visit(rel)
+	}
+}
+
+func (l *Loader) checkOne(fset *token.FileSet, res *resolver, pkg *Package) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: res,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// resolver routes module-local import paths to the loader's own checked
+// packages and everything else to the stdlib source importer.
+type resolver struct {
+	module string
+	byRel  map[string]*Package
+	std    types.Importer
+}
+
+func (r *resolver) Import(path string) (*types.Package, error) {
+	if rel, ok := moduleRel(r.module, path); ok {
+		pkg := r.byRel[rel]
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("lint: module package %q not loaded", path)
+		}
+		return pkg.Types, nil
+	}
+	return r.std.Import(path)
+}
+
+// moduleRel reports whether path is inside module, returning the
+// module-relative form ("" for the module root package).
+func moduleRel(module, path string) (string, bool) {
+	if path == module {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, module+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+func joinImportPath(module, rel string) string {
+	if rel == "" {
+		return module
+	}
+	return module + "/" + rel
+}
+
+// matchPatterns reports whether module-relative dir rel is selected. An empty
+// pattern list selects nothing; the driver defaults to "./...".
+func matchPatterns(rel string, patterns []string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		switch {
+		case p == "..." || p == "":
+			return true
+		case p == ".":
+			if rel == "" {
+				return true
+			}
+		case strings.HasSuffix(p, "/..."):
+			prefix := strings.TrimSuffix(p, "/...")
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		default:
+			if rel == strings.TrimSuffix(p, "/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Qualifier resolves sel.X as a package qualifier, returning the imported
+// package's path. It prefers exact go/types resolution and falls back to the
+// file's import table when type information is unavailable.
+func (p *Package) Qualifier(file *ast.File, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			if !ok {
+				return "", false
+			}
+			return pn.Imported().Path(), true
+		}
+	}
+	// Syntactic fallback: match the identifier against the file's imports.
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else {
+			name = path[strings.LastIndex(path, "/")+1:]
+		}
+		if name == id.Name {
+			return path, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,76 @@
+// The state-purity analyzer. A simulation must be a pure function of
+// config.Config, so simulator packages may not hold package-level variables:
+// any package state can couple independent engine instances (or concurrent
+// experiments) to each other. Sentinel errors (`var ErrX = errors.New(...)`)
+// are immutable by convention and stay permitted; everything else needs a
+// //lint:allow purity directive with a reason — the documented example being
+// the experiment registry that init() self-registration fills once, before
+// main starts.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func purityAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "purity",
+		Doc:  "ban package-level mutable state in simulator packages",
+		Run:  runPurity,
+	}
+}
+
+func runPurity(pass *Pass) {
+	if !pass.Rules.Purity.Scope.Match(pass.Pkg.Rel) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if pass.Rules.Purity.AllowSentinelErrors && isSentinelError(pass, f, vs) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // compile-time assertions carry no state
+					}
+					pass.Report(name.Pos(),
+						"package-level variable %q is mutable state in a simulator package; thread it through config.Config or the call graph (or //lint:allow purity <reason>)",
+						name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isSentinelError recognizes the `var ErrX = errors.New("...")` and
+// fmt.Errorf forms: a single-name spec initialized by an error constructor.
+func isSentinelError(pass *Pass, f *ast.File, vs *ast.ValueSpec) bool {
+	if len(vs.Names) != 1 || len(vs.Values) != 1 {
+		return false
+	}
+	call, ok := vs.Values[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	path, ok := pass.Pkg.Qualifier(f, sel)
+	if !ok {
+		return false
+	}
+	return (path == "errors" && sel.Sel.Name == "New") ||
+		(path == "fmt" && sel.Sel.Name == "Errorf")
+}

@@ -1,0 +1,20 @@
+// Fixture: directive hygiene. A directive with no reason, a directive naming
+// an unknown rule, and a directive nothing triggers are each findings of the
+// "lint" pseudo-rule — and a rejected directive does not suppress the
+// underlying finding.
+package noc
+
+import "time"
+
+// MissingReason carries a directive with no reason.
+func MissingReason() int64 {
+	return time.Now().UnixNano() //lint:allow determinism
+}
+
+// UnknownRule waives a rule that does not exist.
+func UnknownRule() int64 {
+	return time.Now().UnixNano() //lint:allow nondeterminism because it sounds right
+}
+
+//lint:allow tickmodel nothing here triggers the tick-model rule
+func Unused() {}

@@ -1,0 +1,65 @@
+// Fixture: deliberate determinism violations, plus the patterns the analyzer
+// must accept — a seeded *rand.Rand, a sorted map collection, an order-free
+// map accumulation, and a reasoned waiver.
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Bad reads ambient state four ways.
+func Bad() int64 {
+	t := time.Now()
+	_ = time.Since(t)
+	_ = os.Getenv("GPUNOC_SEED")
+	return rand.Int63()
+}
+
+// PrintUnsorted leaks map iteration order into printed output.
+func PrintUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// CollectUnsorted leaks map iteration order into a returned slice.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted is the sanctioned shape: collect, then sort.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Accumulate writes into another map — order-free, not flagged.
+func Accumulate(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// Seeded derives its RNG from a caller-supplied seed: allowed.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(16)
+}
+
+// Waived reads the wall clock under a reasoned waiver.
+func Waived() int64 {
+	return time.Now().UnixNano() //lint:allow determinism fixture: diagnostics-only timestamp
+}

@@ -1,0 +1,5 @@
+// Fixture: a substrate leaf with no module-local imports.
+package arb
+
+// Policy is a placeholder arbiter policy.
+type Policy int

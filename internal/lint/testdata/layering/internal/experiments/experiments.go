@@ -1,0 +1,5 @@
+// Fixture: stands in for the real experiment suite.
+package experiments
+
+// Count is a placeholder.
+const Count = 0

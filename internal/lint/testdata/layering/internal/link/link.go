@@ -1,0 +1,8 @@
+// Fixture: link may import arb — a documented intra-substrate edge of the
+// layering table.
+package link
+
+import "gpunoc/internal/arb"
+
+// DefaultPolicy re-exports the arb placeholder.
+const DefaultPolicy = arb.Policy(0)

@@ -1,0 +1,8 @@
+// Fixture: noc may import link, but never experiments — nothing below the
+// experiment layer may import it back.
+package noc
+
+import (
+	_ "gpunoc/internal/experiments"
+	_ "gpunoc/internal/link"
+)

@@ -1,0 +1,3 @@
+// Fixture: a package missing from the layering table is itself a finding, so
+// the table must grow with the module.
+package rogue

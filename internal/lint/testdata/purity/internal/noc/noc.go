@@ -1,0 +1,28 @@
+// Fixture: package-level state in a simulator package, with the two
+// sanctioned shapes — a sentinel error and a reasoned waiver.
+package noc
+
+import "errors"
+
+// ErrStall is a sentinel: immutable by convention, permitted.
+var ErrStall = errors.New("noc: stalled")
+
+// routeCache is package state: flagged.
+var routeCache = map[string]int{}
+
+// hits and misses share one spec: both flagged.
+var hits, misses int
+
+//lint:allow purity fixture: documented single-write table
+var waived []int
+
+// A compile-time assertion carries no state: permitted.
+var _ = ErrStall
+
+// Touch keeps the flagged variables referenced so the fixture type-checks.
+func Touch(k string) int {
+	hits++
+	misses--
+	waived = append(waived, hits)
+	return routeCache[k] + misses + len(waived)
+}

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned CycleMeter may use sync/atomic inside its own
+// declaration and methods; any other atomic use in the package is flagged.
+package config
+
+import "sync/atomic"
+
+// CycleMeter mirrors the real sanctioned type from the rule table.
+type CycleMeter struct{ n atomic.Uint64 }
+
+// Add records n cycles.
+func (m *CycleMeter) Add(n uint64) { m.n.Add(n) }
+
+// Load returns the recorded cycles.
+func (m *CycleMeter) Load() uint64 { return m.n.Load() }
+
+// Rogue uses an atomic outside the sanctioned type.
+func Rogue() uint64 {
+	var x atomic.Uint64
+	x.Add(1)
+	return x.Load()
+}

@@ -1,0 +1,22 @@
+// Fixture: deliberate tick-model violations. Goroutines, channels, selects,
+// and locks have no place inside the engine's single-goroutine tick loop.
+package noc
+
+import "sync"
+
+// Router carries a lock the tick model forbids.
+type Router struct {
+	mu sync.Mutex
+}
+
+// Spawn starts a goroutine and speaks over a channel.
+func Spawn(n int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- n
+	}()
+	select {
+	case v := <-ch:
+		return v
+	}
+}
