@@ -11,7 +11,14 @@
 //
 //	ccbench [-config volta|small] [-scale quick|full] [-seed N]
 //	        [-only fig10,table2,...] [-parallel N] [-check] [-csv DIR]
+//	        [-metrics DIR]
 //	ccbench -list
+//
+// -metrics DIR attaches a probe registry to every experiment and writes one
+// <id>.metrics.json and <id>.metrics.csv per experiment into DIR. The files
+// are deterministic: byte-identical across runs and at any -parallel
+// setting, because each experiment owns a private registry and snapshots
+// are sorted by metric name.
 //
 // The report goes to stdout; a per-experiment timing/cycles summary goes to
 // stderr (wall times vary run to run, so they are kept out of the
@@ -19,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "suite seed; each experiment derives its own seed from it")
 	only := flag.String("only", "", "comma-separated subset of experiments (see -list)")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into (created if missing)")
+	metricsDir := flag.String("metrics", "", "directory to write per-experiment probe metrics (JSON+CSV) into (created if missing)")
 	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "also assert each experiment's paper-shape Check")
 	list := flag.Bool("list", false, "list registered experiments and exit")
@@ -69,19 +78,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Validate -only before any work: unknown ids fail fast with the full
+	// list of valid ones. Empty tokens ("fig2,,fig3") are ignored.
+	known := map[string]bool{}
+	var knownIDs []string
+	for _, e := range experiments.All() {
+		known[e.ID] = true
+		knownIDs = append(knownIDs, e.ID)
+	}
 	var ids []string
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			ids = append(ids, strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\nvalid ids: %s\n",
+					id, strings.Join(knownIDs, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
 		}
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: creating %s: %v\n", *csvDir, err)
+	for _, dir := range []string{*csvDir, *metricsDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: creating %s: %v\n", dir, err)
 			os.Exit(2)
 		}
 	}
+	opt.Metrics = *metricsDir != ""
 
 	runner := experiments.Runner{
 		Parallel: *parallel,
@@ -107,6 +137,23 @@ func main() {
 			path := filepath.Join(*csvDir, res.Figure.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.Figure.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", path, err)
+				failed = true
+			}
+		}
+		if *metricsDir != "" {
+			blob, err := json.MarshalIndent(res.Metrics, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: encoding metrics for %s: %v\n", res.Experiment.ID, err)
+				failed = true
+				continue
+			}
+			base := filepath.Join(*metricsDir, res.Experiment.ID)
+			if err := os.WriteFile(base+".metrics.json", append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: writing %s.metrics.json: %v\n", base, err)
+				failed = true
+			}
+			if err := os.WriteFile(base+".metrics.csv", []byte(res.Metrics.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: writing %s.metrics.csv: %v\n", base, err)
 				failed = true
 			}
 		}

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	gpusim [-config volta|small] [-arb rr|crr|srr|age] [-sms 0,1] \
-//	       [-ops 20] [-warps 4] [-read] [-seed N]
+//	       [-ops 20] [-warps 4] [-read] [-seed N] [-trace out.json]
+//
+// -trace writes a Chrome trace-event JSON file of the run: one track per
+// instrumented NoC link (spans are packets occupying the channel, from
+// enqueue to delivery) plus a "kernels" track with one span per kernel.
+// Open it at https://ui.perfetto.dev or chrome://tracing; timestamps are
+// simulated cycles, not microseconds.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"gpunoc/internal/config"
 	"gpunoc/internal/device"
 	"gpunoc/internal/engine"
+	"gpunoc/internal/probe"
 )
 
 func fail(err error) {
@@ -34,6 +41,7 @@ func main() {
 	warps := flag.Int("warps", 4, "warps per activated SM")
 	read := flag.Bool("read", false, "issue reads instead of writes")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible) to this path")
 	flag.Parse()
 
 	var cfg config.Config
@@ -66,6 +74,11 @@ func main() {
 			fail(fmt.Errorf("bad SM id %q", tok))
 		}
 		targets[sm] = true
+	}
+
+	if *tracePath != "" {
+		cfg.Probes = probe.NewRegistry()
+		cfg.Probes.EnableTrace(0)
 	}
 
 	g, err := engine.New(cfg)
@@ -148,4 +161,21 @@ func main() {
 	}
 	st := g.Partition().Stats()
 	fmt.Printf("  L2: %d served, %d hits, %d misses\n", st.Served, st.Hits, st.Misses)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		tr := g.Probes().Tracer()
+		if err := probe.WriteChrome(f, tr); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  trace: %d events on %d tracks -> %s (open at ui.perfetto.dev)\n",
+			len(tr.Events()), len(tr.Tracks()), *tracePath)
+	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"gpunoc/internal/config"
 	"gpunoc/internal/packet"
+	"gpunoc/internal/probe"
 )
 
 // Arbiter selects which input of a shared mux is granted next. Grant is
@@ -170,4 +171,41 @@ func (a *fixedPriority) Grant(_ uint64, heads []*packet.Packet) int {
 		}
 	}
 	return -1
+}
+
+// counting wraps an arbiter and attributes every grant opportunity to
+// per-input probe counters: the granted input's grant counter increments,
+// and every other input that had a head packet but was passed over counts a
+// deny. Denies are exactly the cycles a queue head waits because a shared
+// mux is serving someone else — the paper's leakage signal, localized per
+// input.
+type counting struct {
+	inner  Arbiter
+	grants []*probe.Counter
+	denies []*probe.Counter
+}
+
+// Counting instruments a with per-input grant/deny counters. grants and
+// denies must each have one counter per mux input (probe.Registry hands out
+// nil counters when instrumentation is disabled; those stay no-ops). The
+// wrapper preserves the inner arbiter's policy and decisions exactly.
+func Counting(a Arbiter, grants, denies []*probe.Counter) Arbiter {
+	return &counting{inner: a, grants: grants, denies: denies}
+}
+
+func (a *counting) Policy() config.ArbPolicy { return a.inner.Policy() }
+
+func (a *counting) Grant(now uint64, heads []*packet.Packet) int {
+	g := a.inner.Grant(now, heads)
+	for i, h := range heads {
+		if h == nil || i >= len(a.denies) {
+			continue
+		}
+		if i == g {
+			a.grants[i].Inc()
+		} else {
+			a.denies[i].Inc()
+		}
+	}
+	return g
 }

@@ -6,6 +6,8 @@ package cache
 
 import (
 	"fmt"
+
+	"gpunoc/internal/probe"
 )
 
 // Result describes the outcome of an access.
@@ -62,6 +64,30 @@ type Cache struct {
 
 	// Counters.
 	hits, misses, merged, stalls, evictions, writebacks uint64
+
+	pr *cacheProbes // nil when uninstrumented (the fast path)
+}
+
+// cacheProbes mirrors the access-outcome counters into a probe.Registry and
+// tracks MSHR occupancy as a gauge (its Max is the high-water mark).
+type cacheProbes struct {
+	hits, misses, merged, stalls *probe.Counter
+	mshr                         *probe.Gauge
+}
+
+// Instrument registers this cache's metrics with r under the given prefix
+// (e.g. "mem/slice3/l2"). A nil registry leaves the cache uninstrumented.
+func (c *Cache) Instrument(r *probe.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	c.pr = &cacheProbes{
+		hits:   r.Counter(prefix + "/hits"),
+		misses: r.Counter(prefix + "/misses"),
+		merged: r.Counter(prefix + "/merged"),
+		stalls: r.Counter(prefix + "/stalls"),
+		mshr:   r.Gauge(prefix + "/mshr_pending"),
+	}
 }
 
 // New builds a cache of the given total size. sizeBytes must be divisible by
@@ -111,20 +137,33 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 				s.dirty = true
 			}
 			c.hits++
+			if c.pr != nil {
+				c.pr.hits.Inc()
+			}
 			return Hit
 		}
 	}
 	if _, ok := c.mshrs[la]; ok {
 		c.mshrs[la]++
 		c.merged++
+		if c.pr != nil {
+			c.pr.merged.Inc()
+		}
 		return MissMerged
 	}
 	if len(c.mshrs) >= c.mshrCap {
 		c.stalls++
+		if c.pr != nil {
+			c.pr.stalls.Inc()
+		}
 		return Stall
 	}
 	c.mshrs[la] = 1
 	c.misses++
+	if c.pr != nil {
+		c.pr.misses.Inc()
+		c.pr.mshr.Add(1)
+	}
 	return Miss
 }
 
@@ -151,6 +190,9 @@ func (c *Cache) Fill(addr uint64, write bool) (waiters int, writeback bool) {
 	if n, ok := c.mshrs[la]; ok {
 		waiters = n
 		delete(c.mshrs, la)
+		if c.pr != nil {
+			c.pr.mshr.Add(-1)
+		}
 	}
 	set := c.setOf(la)
 	c.useTick++

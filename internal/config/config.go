@@ -8,6 +8,8 @@ package config
 import (
 	"fmt"
 	"sync/atomic"
+
+	"gpunoc/internal/probe"
 )
 
 // ArbPolicy selects the arbitration algorithm used by NoC muxes (§6).
@@ -166,6 +168,15 @@ type Config struct {
 	// when experiments run concurrently. It never influences simulation
 	// behavior and is ignored by Validate.
 	Meter *CycleMeter
+
+	// Probes, when non-nil, is the instrumentation registry every component
+	// built from this configuration registers its metrics with (copies of
+	// the Config share the pointer, so an experiment that builds several
+	// engines accumulates one metric set). nil disables instrumentation
+	// entirely — components keep a single nil check on their hot paths and
+	// the simulation output is byte-identical either way. Like Meter it
+	// never influences simulation behavior and is ignored by Validate.
+	Probes *probe.Registry
 }
 
 // CycleMeter is a concurrency-safe counter of simulated engine cycles. The

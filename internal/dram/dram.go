@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"gpunoc/internal/config"
+	"gpunoc/internal/probe"
 )
 
 // Request is one line fetch or writeback handed to a memory controller.
@@ -49,6 +50,31 @@ type Controller struct {
 
 	// Counters.
 	served, rowHits, rowMisses, dropped uint64
+
+	pr *mcProbes // nil when uninstrumented (the fast path)
+}
+
+// mcProbes mirrors the controller's row-buffer outcome counters into a
+// probe.Registry, plus a queue-wait histogram (arrival to command issue) and
+// a queue-depth gauge.
+type mcProbes struct {
+	rowHits, rowMisses *probe.Counter
+	queueWait          *probe.Hist
+	depth              *probe.Gauge
+}
+
+// Instrument registers this controller's metrics with r under the given
+// prefix (e.g. "dram/mc0"). A nil registry leaves it uninstrumented.
+func (mc *Controller) Instrument(r *probe.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	mc.pr = &mcProbes{
+		rowHits:   r.Counter(prefix + "/row_hits"),
+		rowMisses: r.Counter(prefix + "/row_misses"),
+		queueWait: r.Hist(prefix + "/queue_wait"),
+		depth:     r.Gauge(prefix + "/queue_depth"),
+	}
 }
 
 // NewController builds a controller with the given timing, bank count, row
@@ -84,6 +110,9 @@ func (mc *Controller) Enqueue(now uint64, r *Request) bool {
 	}
 	r.arriveAt = now
 	mc.queue = append(mc.queue, r)
+	if mc.pr != nil {
+		mc.pr.depth.Add(1)
+	}
 	return true
 }
 
@@ -127,15 +156,25 @@ func (mc *Controller) Tick(now uint64) {
 func (mc *Controller) service(now uint64, r *Request, b *bank) {
 	row := mc.rowOf(r.Addr)
 	t := mc.timing
+	if mc.pr != nil {
+		mc.pr.queueWait.Observe(now - r.arriveAt)
+		mc.pr.depth.Add(-1)
+	}
 	var dataAt uint64
 	switch {
 	case b.rowOpen && b.row == row:
 		// Row hit: column access only.
 		mc.rowHits++
+		if mc.pr != nil {
+			mc.pr.rowHits.Inc()
+		}
 		dataAt = now + uint64(t.TCL)
 	case b.rowOpen:
 		// Row conflict: precharge (respecting tRAS) + activate + column.
 		mc.rowMisses++
+		if mc.pr != nil {
+			mc.pr.rowMisses.Inc()
+		}
 		pre := now
 		if min := b.precharged + uint64(t.TRAS); pre < min {
 			pre = min
@@ -154,6 +193,9 @@ func (mc *Controller) service(now uint64, r *Request, b *bank) {
 	default:
 		// Bank idle: activate + column.
 		mc.rowMisses++
+		if mc.pr != nil {
+			mc.pr.rowMisses.Inc()
+		}
 		act := now
 		if min := mc.lastActivate + uint64(t.TRRD); mc.hasActivated && act < min {
 			act = min

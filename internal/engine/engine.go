@@ -16,6 +16,7 @@ import (
 	"gpunoc/internal/mem"
 	"gpunoc/internal/noc"
 	"gpunoc/internal/packet"
+	"gpunoc/internal/probe"
 	"gpunoc/internal/sm"
 	"gpunoc/internal/tbsched"
 )
@@ -59,6 +60,11 @@ type GPU struct {
 
 	kernels []*Kernel
 	now     uint64
+
+	// trace is cached from the registry so updateKernels can emit one span
+	// per completed kernel; nil when tracing is disabled.
+	trace       *probe.Trace
+	kernelTrack probe.TrackID
 }
 
 // New builds a GPU for cfg. The configuration is copied; later mutations of
@@ -93,6 +99,12 @@ func New(cfg config.Config) (*GPU, error) {
 			return nil, err
 		}
 	}
+	if g.cfg.Probes != nil {
+		if tr := g.cfg.Probes.Tracer(); tr != nil {
+			g.trace = tr
+			g.kernelTrack = tr.Track("kernels")
+		}
+	}
 	return g, nil
 }
 
@@ -114,6 +126,14 @@ func (g *GPU) Partition() *mem.Partition { return g.part }
 
 // SM returns SM i.
 func (g *GPU) SM(i int) *sm.SM { return g.sms[i] }
+
+// Probes returns the instrumentation registry this GPU was built with, or
+// nil when the configuration carried none.
+func (g *GPU) Probes() *probe.Registry { return g.cfg.Probes }
+
+// ProbeSnapshot captures the registry's metrics at the current cycle. It
+// returns the zero Snapshot when instrumentation is disabled.
+func (g *GPU) ProbeSnapshot() probe.Snapshot { return g.cfg.Probes.Snapshot(g.now) }
 
 // Now returns the current cycle.
 func (g *GPU) Now() uint64 { return g.now }
@@ -189,6 +209,9 @@ func (g *GPU) updateKernels() {
 		if running == 0 {
 			k.done = true
 			k.FinishedAt = g.now
+			if g.trace != nil {
+				g.trace.Span(g.kernelTrack, k.Spec.Name, k.LaunchedAt, g.now)
+			}
 			for _, bp := range k.Blocks {
 				// Release occupancy and recycle warp slots.
 				if err := g.sched.Release(bp.SM); err != nil {

@@ -61,6 +61,11 @@ const (
 type Options struct {
 	Scale Scale
 	Seed  int64
+	// Metrics attaches a fresh probe.Registry to each experiment's Config
+	// copy; the Runner snapshots it into Result.Metrics when the experiment
+	// finishes. Instrumentation never influences simulation results, so
+	// figures are identical with and without it.
+	Metrics bool
 }
 
 func (o Options) seed() int64 {

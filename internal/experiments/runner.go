@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gpunoc/internal/config"
+	"gpunoc/internal/probe"
 )
 
 // Result is the structured outcome of one experiment run.
@@ -35,6 +36,12 @@ type Result struct {
 	// Cycles is the total number of simulated GPU cycles the experiment
 	// executed, summed over every engine instance it built.
 	Cycles uint64
+	// Metrics is the probe snapshot taken when the experiment finished
+	// (zero unless Options.Metrics was set). Every engine the experiment
+	// built shares one registry, so same-name metrics accumulate across
+	// engine instances; the snapshot is deterministic at any Parallel
+	// setting because each experiment owns a private registry.
+	Metrics probe.Snapshot
 }
 
 // Runner fans experiments out over a bounded worker pool. The zero value
@@ -124,6 +131,9 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 	c := *cfg
 	c.Seed = seed
 	c.Meter = &config.CycleMeter{}
+	if r.Options.Metrics {
+		c.Probes = probe.NewRegistry()
+	}
 
 	opt := r.Options
 	opt.Seed = seed
@@ -135,7 +145,7 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 			err = fmt.Errorf("check failed: %w", cerr)
 		}
 	}
-	return Result{
+	res := Result{
 		Experiment: e,
 		Seed:       seed,
 		Figure:     f,
@@ -143,6 +153,10 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 		Wall:       time.Since(start), //lint:allow determinism wall time feeds the stderr Summary only, never the deterministic Report
 		Cycles:     c.Meter.Load(),
 	}
+	if r.Options.Metrics {
+		res.Metrics = c.Probes.Snapshot(c.Meter.Load())
+	}
+	return res
 }
 
 // Report renders the deterministic part of a result set: each successful

@@ -16,6 +16,7 @@ import (
 
 	"gpunoc/internal/arb"
 	"gpunoc/internal/packet"
+	"gpunoc/internal/probe"
 )
 
 // Deliver receives a packet when it exits the link (after serialization and
@@ -55,6 +56,18 @@ type Link struct {
 
 	lastEnd uint64 // scaled (cycles*num) time the channel frees up
 	stats   Stats
+	pr      *linkProbes // nil when uninstrumented (the fast path)
+}
+
+// linkProbes bundles the probe instruments of one instrumented link; the
+// Link carries a single pointer so the uninstrumented hot path pays exactly
+// one nil check per phase.
+type linkProbes struct {
+	occ   *probe.Occupancy // channel utilization (busy units = flits*den)
+	depth *probe.Gauge     // total queued packets across all inputs
+	wait  *probe.Hist      // per-packet queue wait, cycles
+	trace *probe.Trace     // nil unless tracing is enabled
+	track probe.TrackID
 }
 
 // New constructs a link. inputs is the mux fan-in; rateNum/rateDen the
@@ -93,6 +106,33 @@ func (l *Link) Inputs() int { return len(l.queues) }
 // Stats returns a copy of the activity counters.
 func (l *Link) Stats() Stats { return l.stats }
 
+// Instrument registers this link's metrics with r under prefix+Name() and
+// wraps the arbiter with per-input grant/deny counters. It must be called
+// before the first Tick and is a no-op on a nil registry, so uninstrumented
+// runs keep the bare arbiter and a nil probe pointer (probe-freedom).
+func (l *Link) Instrument(r *probe.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	base := prefix + l.name
+	grants := make([]*probe.Counter, len(l.queues))
+	denies := make([]*probe.Counter, len(l.queues))
+	for i := range l.queues {
+		grants[i] = r.Counter(fmt.Sprintf("%s/in%d/grants", base, i))
+		denies[i] = r.Counter(fmt.Sprintf("%s/in%d/denies", base, i))
+	}
+	l.arbiter = arb.Counting(l.arbiter, grants, denies)
+	l.pr = &linkProbes{
+		occ:   r.Occupancy(base+"/occupancy", l.num),
+		depth: r.Gauge(base + "/queue_depth"),
+		wait:  r.Hist(base + "/queue_wait"),
+	}
+	if tr := r.Tracer(); tr != nil {
+		l.pr.trace = tr
+		l.pr.track = tr.Track(base)
+	}
+}
+
 // Enqueue appends p to input queue in at cycle now. It panics on an invalid
 // input index, which would indicate a miswired topology rather than a
 // recoverable condition.
@@ -103,6 +143,9 @@ func (l *Link) Enqueue(now uint64, in int, p *packet.Packet) {
 	l.queues[in] = append(l.queues[in], queued{p: p, enqueued: now})
 	if n := len(l.queues[in]); n > l.stats.MaxQueueLen {
 		l.stats.MaxQueueLen = n
+	}
+	if l.pr != nil {
+		l.pr.depth.Add(1)
 	}
 }
 
@@ -170,5 +213,14 @@ func (l *Link) Tick(now uint64) {
 		l.stats.Packets++
 		l.stats.Flits += flits
 		l.stats.QueueWait += now - item.enqueued
+
+		if l.pr != nil {
+			l.pr.occ.AddBusy(flits * l.den)
+			l.pr.wait.Observe(now - item.enqueued)
+			l.pr.depth.Add(-1)
+			if l.pr.trace != nil {
+				l.pr.trace.Span(l.pr.track, item.p.Kind.String(), item.enqueued, doneCycle+l.latency)
+			}
+		}
 	}
 }

@@ -136,6 +136,7 @@ func engineAndBelow() []string {
 		"internal/mem",
 		"internal/noc",
 		"internal/packet",
+		"internal/probe",
 		"internal/sm",
 		"internal/stats",
 		"internal/tbsched",
@@ -165,31 +166,37 @@ func DefaultRules() *Rules {
 				},
 
 				// Leaves: no module-local imports at all.
-				"internal/config": {},
 				"internal/packet": {},
 				"internal/stats":  {},
 				"internal/warp":   {},
 
-				// Substrate: config/packet only, plus documented edges.
-				"internal/arb":      {"internal/config", "internal/packet"},
-				"internal/cache":    {"internal/config", "internal/packet"},
+				// Instrumentation: probe sits between stats and config so
+				// every component a Config reaches can register metrics.
+				"internal/probe":  {"internal/stats"},
+				"internal/config": {"internal/probe"},
+
+				// Substrate: config/packet only, plus documented edges
+				// (probe is reachable from everything holding a Config).
+				"internal/arb":      {"internal/config", "internal/packet", "internal/probe"},
+				"internal/cache":    {"internal/config", "internal/packet", "internal/probe"},
 				"internal/clockreg": {"internal/config"},
 				"internal/device":   {"internal/warp"},
-				"internal/dram":     {"internal/config"},
+				"internal/dram":     {"internal/config", "internal/probe"},
 				"internal/tbsched":  {"internal/config"},
-				"internal/link":     {"internal/arb", "internal/config", "internal/packet"},
-				"internal/noc":      {"internal/arb", "internal/config", "internal/link", "internal/packet"},
-				"internal/mem":      {"internal/cache", "internal/config", "internal/dram", "internal/packet"},
+				"internal/link":     {"internal/arb", "internal/config", "internal/packet", "internal/probe"},
+				"internal/noc":      {"internal/arb", "internal/config", "internal/link", "internal/packet", "internal/probe"},
+				"internal/mem":      {"internal/cache", "internal/config", "internal/dram", "internal/packet", "internal/probe"},
 				"internal/sm": {
 					"internal/cache", "internal/clockreg", "internal/config",
-					"internal/device", "internal/packet", "internal/warp",
+					"internal/device", "internal/packet", "internal/probe",
+					"internal/warp",
 				},
 
 				// The cycle-driven top level.
 				"internal/engine": {
 					"internal/clockreg", "internal/config", "internal/device",
 					"internal/mem", "internal/noc", "internal/packet",
-					"internal/sm", "internal/tbsched",
+					"internal/probe", "internal/sm", "internal/tbsched",
 				},
 
 				// The attack, prior-work channels, and reverse engineering.
@@ -205,8 +212,8 @@ func DefaultRules() *Rules {
 				// roots) may import it back.
 				"internal/experiments": {
 					"internal/baseline", "internal/config", "internal/core",
-					"internal/device", "internal/engine", "internal/reveng",
-					"internal/stats", "internal/warp",
+					"internal/device", "internal/engine", "internal/probe",
+					"internal/reveng", "internal/stats", "internal/warp",
 				},
 
 				// Tooling: stdlib only, outside the simulator entirely.

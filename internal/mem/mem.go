@@ -16,6 +16,7 @@ import (
 	"gpunoc/internal/config"
 	"gpunoc/internal/dram"
 	"gpunoc/internal/packet"
+	"gpunoc/internal/probe"
 )
 
 // Deliver receives completed reply packets from a slice.
@@ -101,6 +102,34 @@ type Slice struct {
 
 	// Counters.
 	served, hits, misses uint64
+
+	pr *sliceProbes // nil when uninstrumented (the fast path)
+}
+
+// sliceProbes holds the slice's latency histograms and ingress-depth gauge.
+// missStart records the cycle each line's first miss entered the MSHR so
+// completeFill can observe the full miss (MSHR residency) latency.
+type sliceProbes struct {
+	hitLat    *probe.Hist // cycles from service start to reply emission, hits
+	missLat   *probe.Hist // cycles from MSHR allocation to fill completion
+	inqDepth  *probe.Gauge
+	missStart map[uint64]uint64
+}
+
+// Instrument registers this slice's metrics with r under the given prefix
+// (e.g. "mem/slice3") and instruments its L2 cache under prefix+"/l2". A nil
+// registry leaves the slice uninstrumented.
+func (s *Slice) Instrument(r *probe.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	s.pr = &sliceProbes{
+		hitLat:    r.Hist(prefix + "/hit_latency"),
+		missLat:   r.Hist(prefix + "/miss_latency"),
+		inqDepth:  r.Gauge(prefix + "/inq_depth"),
+		missStart: make(map[uint64]uint64),
+	}
+	s.cache.Instrument(r, prefix+"/l2")
 }
 
 func newSlice(id int, cfg *config.Config, mc *dram.Controller, out Deliver, seed int64) (*Slice, error) {
@@ -145,6 +174,9 @@ func (s *Slice) Accept(now uint64, p *packet.Packet) {
 		panic(fmt.Sprintf("mem: slice %d received non-request %v", s.id, p))
 	}
 	s.inq = append(s.inq, p)
+	if s.pr != nil {
+		s.pr.inqDepth.Add(1)
+	}
 }
 
 func (s *Slice) jitter() uint64 {
@@ -211,11 +243,18 @@ func (s *Slice) Tick(now uint64) {
 			}
 			s.atomicFree[la] = start + atomicSerialize
 		}
-		s.scheduleReply(start+lat+s.jitter(), p)
+		at := start + lat + s.jitter()
+		if s.pr != nil {
+			s.pr.hitLat.Observe(at - now)
+		}
+		s.scheduleReply(at, p)
 	case cache.Miss:
 		s.misses++
 		la := s.cache.LineAddr(s.localAddr(p.Addr))
 		s.waiting[la] = append(s.waiting[la], p)
+		if s.pr != nil {
+			s.pr.missStart[la] = now
+		}
 		ok := s.mc.Enqueue(now, &dram.Request{
 			Addr:  la,
 			Write: false, // fetch-on-miss; writes allocate then dirty the line
@@ -239,6 +278,9 @@ func (s *Slice) Tick(now uint64) {
 	}
 	s.inq = s.inq[1:]
 	s.served++
+	if s.pr != nil {
+		s.pr.inqDepth.Add(-1)
+	}
 }
 
 // scheduleFill defers the cache fill to the cycle the DRAM data transfer
@@ -250,6 +292,12 @@ func (s *Slice) scheduleFill(at, la uint64) {
 }
 
 func (s *Slice) completeFill(at uint64, la uint64) {
+	if s.pr != nil {
+		if start, ok := s.pr.missStart[la]; ok {
+			s.pr.missLat.Observe(at - start)
+			delete(s.pr.missStart, la)
+		}
+	}
 	write := false
 	for _, w := range s.waiting[la] {
 		if w.Kind == packet.WriteReq {
@@ -315,6 +363,9 @@ func NewPartition(cfg *config.Config, out Deliver) (*Partition, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Probes != nil {
+			mc.Instrument(cfg.Probes, fmt.Sprintf("dram/mc%d", i))
+		}
 		p.mcs[i] = mc
 	}
 	p.slices = make([]*Slice, cfg.NumL2Slices)
@@ -323,6 +374,9 @@ func NewPartition(cfg *config.Config, out Deliver) (*Partition, error) {
 		sl, err := newSlice(i, cfg, mc, out, cfg.Seed+int64(i)*7919)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Probes != nil {
+			sl.Instrument(cfg.Probes, fmt.Sprintf("mem/slice%d", i))
 		}
 		p.slices[i] = sl
 	}

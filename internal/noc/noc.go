@@ -157,6 +157,14 @@ func New(cfg *config.Config, toSlice, toSM Deliver) (*Network, error) {
 		n.repGPC[g] = l
 	}
 
+	if cfg.Probes != nil {
+		for _, group := range [][]*link.Link{n.reqTPC, n.reqGPC, n.xbarIn, n.repGPC, n.repTPC} {
+			for _, l := range group {
+				l.Instrument(cfg.Probes, "noc/")
+			}
+		}
+	}
+
 	return n, nil
 }
 

@@ -1,0 +1,219 @@
+// The bounded trace ring and its Chrome trace-event export. Events are
+// stamped in simulated cycles and stored in a fixed-capacity ring (oldest
+// events are overwritten, with a drop counter), so tracing a long run costs
+// constant memory and an instrumented simulation stays deterministic: the
+// ring contents are a pure function of the simulated event stream.
+//
+// WriteChrome renders the ring in the Chrome trace-event JSON format, which
+// Perfetto (https://ui.perfetto.dev) loads directly: each instrumented
+// component is a named track (thread), link transfers and warp memory
+// operations are complete ("X") spans, and one simulated cycle maps to one
+// displayed microsecond. Loading a Fig 8 trace visually shows SM1's write
+// bursts stalling SM0's packets at the shared TPC mux.
+
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultTraceCap is the ring capacity used when EnableTrace is called with
+// a non-positive cap: enough for every event of a quick contention run while
+// bounding a saturating run to a few MB.
+const DefaultTraceCap = 1 << 17
+
+// TrackID identifies a named event track (one Perfetto "thread" per
+// instrumented component).
+type TrackID int32
+
+// EventKind distinguishes span events (duration) from instant markers.
+type EventKind uint8
+
+const (
+	// Span is a complete event with a start cycle and a duration.
+	Span EventKind = iota
+	// Instant is a point-in-time marker.
+	Instant
+)
+
+// Event is one trace record. TS and Dur are in simulated cycles.
+type Event struct {
+	Track TrackID
+	Kind  EventKind
+	Name  string
+	TS    uint64
+	Dur   uint64
+}
+
+// Trace is a bounded ring of events plus the track name table. All methods
+// are safe on a nil receiver (the tracing-disabled fast path).
+type Trace struct {
+	tracks []string
+	byName map[string]TrackID
+
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+func newTrace(cap int) *Trace {
+	if cap < 1 {
+		cap = DefaultTraceCap
+	}
+	return &Trace{
+		byName: map[string]TrackID{},
+		ring:   make([]Event, 0, cap),
+	}
+}
+
+// Track returns the id of the named track, creating it on first use. Returns
+// 0 on a nil trace; emitting against a nil trace is a no-op anyway.
+func (t *Trace) Track(name string) TrackID {
+	if t == nil {
+		return 0
+	}
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	id := TrackID(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.byName[name] = id
+	return id
+}
+
+// Span records a complete event covering [start, end] cycles on the track.
+func (t *Trace) Span(track TrackID, name string, start, end uint64) {
+	if t == nil {
+		return
+	}
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	t.push(Event{Track: track, Kind: Span, Name: name, TS: start, Dur: dur})
+}
+
+// Instant records a point event at cycle ts on the track.
+func (t *Trace) Instant(track TrackID, name string, ts uint64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Track: track, Kind: Instant, Name: name, TS: ts})
+}
+
+func (t *Trace) push(e Event) {
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+	t.wrapped = true
+	t.dropped++
+}
+
+// Events returns the retained events in emission order (oldest first). The
+// slice is freshly allocated.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		return append([]Event(nil), t.ring...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Tracks returns the registered track names indexed by TrackID.
+func (t *Trace) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.tracks...)
+}
+
+// chromeEvent is one record of the Chrome trace-event format. Fields are
+// kept to the subset Perfetto reads; ts/dur are emitted in "microseconds"
+// that are really simulated cycles.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	Dur   *uint64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       struct {
+		TimeUnit string `json:"time_unit"`
+		Dropped  uint64 `json:"dropped_events"`
+	} `json:"otherData"`
+}
+
+// WriteChrome renders the trace as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing. One metadata record names each track; span
+// events become "X" (complete) records and instants become "i" records. The
+// output is deterministic: track order is registration order and events are
+// emitted in ring order.
+func WriteChrome(w io.Writer, t *Trace) error {
+	var doc chromeTrace
+	doc.DisplayTimeUnit = "ms"
+	doc.OtherData.TimeUnit = "simulated GPU cycles (rendered as us)"
+	if t != nil {
+		doc.OtherData.Dropped = t.dropped
+		for id, name := range t.tracks {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				TID:   id,
+				Args:  map[string]string{"name": name},
+			})
+		}
+		for _, e := range t.Events() {
+			ce := chromeEvent{Name: e.Name, TS: e.TS, TID: int(e.Track)}
+			switch e.Kind {
+			case Span:
+				ce.Phase = "X"
+				dur := e.Dur
+				if dur == 0 {
+					dur = 1 // zero-width spans vanish in Perfetto
+				}
+				ce.Dur = &dur
+			case Instant:
+				ce.Phase = "i"
+				ce.Scope = "t"
+			default:
+				return fmt.Errorf("probe: unknown event kind %d", e.Kind)
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ce)
+		}
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -15,6 +15,7 @@ import (
 	"gpunoc/internal/config"
 	"gpunoc/internal/device"
 	"gpunoc/internal/packet"
+	"gpunoc/internal/probe"
 	"gpunoc/internal/warp"
 )
 
@@ -56,6 +57,19 @@ type SM struct {
 
 	// Counters.
 	injected, replies, opsCompleted uint64
+
+	pr *smProbes // nil when uninstrumented (the fast path)
+}
+
+// smProbes holds the SM's LSU and memory-operation instruments. lsuStalls
+// counts cycles a coalesced packet was ready but could not inject (budget
+// exhausted or inter-injection gap) — the sender-side back-pressure the
+// covert channel modulates. opLat is the warp memory-op latency (first issue
+// to last reply), the receiver's contention signal (Fig 7).
+type smProbes struct {
+	lsuStalls *probe.Counter
+	opLat     *probe.Hist
+	pendDepth *probe.Gauge
 }
 
 // New builds an SM. inject must not be nil.
@@ -73,7 +87,7 @@ func New(id int, cfg *config.Config, clocks *clockreg.Bank, inject Inject) (*SM,
 	if err != nil {
 		return nil, err
 	}
-	return &SM{
+	s := &SM{
 		id:       id,
 		cfg:      cfg,
 		clocks:   clocks,
@@ -81,7 +95,17 @@ func New(id int, cfg *config.Config, clocks *clockreg.Bank, inject Inject) (*SM,
 		l1:       l1,
 		l1HitLat: 28,
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(id)+1)*104729)),
-	}, nil
+	}
+	if r := cfg.Probes; r != nil {
+		prefix := fmt.Sprintf("sm%d", id)
+		s.pr = &smProbes{
+			lsuStalls: r.Counter(prefix + "/lsu_stalls"),
+			opLat:     r.Hist(prefix + "/op_latency"),
+			pendDepth: r.Gauge(prefix + "/lsu_pending"),
+		}
+		l1.Instrument(r, prefix+"/l1")
+	}
+	return s, nil
 }
 
 // l1Hit is a load that hit in L1 and completes locally.
@@ -188,14 +212,21 @@ func (s *SM) Tick(now uint64) {
 
 	// LSU: one packet per LSUInjectPeriod cycles into the TPC mux, bounded
 	// by the outstanding-request budget (the MSHR/LSU queue analogue).
-	if len(s.pending) > 0 && s.outstanding < s.cfg.LSUQueueDepth && now >= s.nextInjectAt {
-		p := s.pending[0]
-		s.pending = s.pending[1:]
-		p.IssueCycle = now
-		s.outstanding++
-		s.injected++
-		s.nextInjectAt = now + uint64(s.cfg.NoC.LSUInjectPeriod)
-		s.inject(now, p)
+	if len(s.pending) > 0 {
+		if s.outstanding < s.cfg.LSUQueueDepth && now >= s.nextInjectAt {
+			p := s.pending[0]
+			s.pending = s.pending[1:]
+			p.IssueCycle = now
+			s.outstanding++
+			s.injected++
+			s.nextInjectAt = now + uint64(s.cfg.NoC.LSUInjectPeriod)
+			s.inject(now, p)
+			if s.pr != nil {
+				s.pr.pendDepth.Add(-1)
+			}
+		} else if s.pr != nil {
+			s.pr.lsuStalls.Inc()
+		}
 	}
 
 	// Warp scheduler: issue width 1, round-robin over ready warps.
@@ -262,6 +293,9 @@ func (s *SM) step(now uint64, r *resident) {
 				SrcSM:    s.id,
 				BypassL1: op.Mem.BypassL1,
 			})
+			if s.pr != nil {
+				s.pr.pendDepth.Add(1)
+			}
 		}
 	case device.OpWait:
 		d := op.Cycles
@@ -321,6 +355,9 @@ func (s *SM) completeRequest(now uint64, warpSlot int, opSeq uint64) {
 		r.w.LastLatency = now - r.w.OpStart
 		r.w.State = warp.Ready
 		s.opsCompleted++
+		if s.pr != nil {
+			s.pr.opLat.Observe(r.w.LastLatency)
+		}
 	}
 }
 

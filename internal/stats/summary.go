@@ -1,0 +1,64 @@
+// The shared latency-distribution summary: one struct shape used by the
+// probe metrics snapshots and the experiment-level metrics JSON, so every
+// component — link queue waits, L2 service latencies, DRAM queue waits, SM
+// operation latencies, figure series — reports its distribution with the
+// same fields.
+
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist is the standard distribution summary: sample count, mean, the 50th /
+// 95th / 99th percentiles, and the maximum.
+type Dist struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary computes the Dist of xs with a single sort and a single
+// accumulation pass: the slice is copied and sorted once, the mean comes
+// from one sum loop, and each percentile is a linear interpolation between
+// the two closest ranks of the already-sorted copy (matching Percentile).
+// An empty slice yields the zero Dist.
+func Summary(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Dist{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		P50:   quantileSorted(sorted, 0.50),
+		P95:   quantileSorted(sorted, 0.95),
+		P99:   quantileSorted(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// quantileSorted interpolates the q-th quantile (0 <= q <= 1) of an
+// already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	if d := Summary(nil); d != (Dist{}) {
+		t.Fatalf("Summary(nil) = %+v, want zero", d)
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	d := Summary([]float64{7})
+	want := Dist{Count: 1, Mean: 7, P50: 7, P95: 7, P99: 7, Max: 7}
+	if d != want {
+		t.Fatalf("Summary([7]) = %+v, want %+v", d, want)
+	}
+}
+
+func TestSummaryMatchesPercentile(t *testing.T) {
+	xs := make([]float64, 0, 101)
+	for i := 100; i >= 0; i-- { // reversed: Summary must not depend on order
+		xs = append(xs, float64(i))
+	}
+	d := Summary(xs)
+	if d.Count != 101 {
+		t.Fatalf("count = %d", d.Count)
+	}
+	if math.Abs(d.Mean-50) > 1e-12 {
+		t.Fatalf("mean = %g, want 50", d.Mean)
+	}
+	for _, tc := range []struct {
+		p   float64
+		got float64
+	}{
+		{50, d.P50}, {95, d.P95}, {99, d.P99},
+	} {
+		want, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tc.got-want) > 1e-12 {
+			t.Fatalf("p%g = %g, want %g (must match Percentile)", tc.p, tc.got, want)
+		}
+	}
+	if d.Max != 100 {
+		t.Fatalf("max = %g, want 100", d.Max)
+	}
+}
+
+func TestSummaryInterpolates(t *testing.T) {
+	d := Summary([]float64{0, 10})
+	if d.P50 != 5 {
+		t.Fatalf("p50 of {0,10} = %g, want 5 (linear interpolation)", d.P50)
+	}
+	if d.P95 != 9.5 {
+		t.Fatalf("p95 of {0,10} = %g, want 9.5", d.P95)
+	}
+}
+
+func TestSummaryDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summary(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
