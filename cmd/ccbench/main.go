@@ -14,6 +14,10 @@
 //	        [-metrics DIR]
 //	ccbench -list
 //
+// The default suite seed is 5, matching every command line and number in
+// docs/EXPERIMENTS.md, so a bare `ccbench` reproduces the documented
+// outputs.
+//
 // -metrics DIR attaches a probe registry to every experiment and writes one
 // <id>.metrics.json and <id>.metrics.csv per experiment into DIR. The files
 // are deterministic: byte-identical across runs and at any -parallel
@@ -40,7 +44,7 @@ import (
 func main() {
 	cfgName := flag.String("config", "volta", "GPU configuration: volta or small")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
-	seed := flag.Int64("seed", 1, "suite seed; each experiment derives its own seed from it")
+	seed := flag.Int64("seed", 5, "suite seed; each experiment derives its own seed from it (5 matches docs/EXPERIMENTS.md)")
 	only := flag.String("only", "", "comma-separated subset of experiments (see -list)")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into (created if missing)")
 	metricsDir := flag.String("metrics", "", "directory to write per-experiment probe metrics (JSON+CSV) into (created if missing)")

@@ -161,6 +161,16 @@ type Config struct {
 
 	Seed int64 // deterministic RNG seed for all noise sources
 
+	// ExhaustiveTick disables the engine's activity-driven scheduling: every
+	// SM, NoC link, L2 slice, and memory controller is ticked on every cycle
+	// whether or not it holds work, exactly as the original run loop did.
+	// Activity-driven runs are cycle-for-cycle identical to exhaustive runs
+	// by construction (components are only skipped when ticking them is a
+	// no-op), so this flag never influences simulation results — it exists
+	// as the reference mode the bit-identity regressions compare against,
+	// and is ignored by Validate.
+	ExhaustiveTick bool
+
 	// Meter, when non-nil, accumulates the number of simulated cycles
 	// executed by every engine instance built from this configuration
 	// (copies of the Config share the pointer). The experiment runner

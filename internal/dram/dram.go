@@ -12,6 +12,7 @@ import (
 
 	"gpunoc/internal/config"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/ring"
 )
 
 // Request is one line fetch or writeback handed to a memory controller.
@@ -42,8 +43,9 @@ type Controller struct {
 	banks    []bank
 	rowBytes uint64
 
-	queue    []*Request
+	queue    ring.Buffer[*Request]
 	capacity int
+	wake     func() // activity wake edge (see SetWaker); nil outside a scheduler
 
 	lastActivate uint64 // for tRRD
 	hasActivated bool
@@ -98,10 +100,16 @@ func NewController(t config.DRAMTiming, banks int, rowBytes, capacity int) (*Con
 	}, nil
 }
 
+// SetWaker registers the activity wake edge: w is invoked on every
+// successful Enqueue, so the container that parked this controller (because
+// Idle() held) knows to tick it again. A nil waker (the default) is correct
+// when the controller is ticked exhaustively.
+func (mc *Controller) SetWaker(w func()) { mc.wake = w }
+
 // Enqueue submits a request. It returns false when the controller queue is
 // full; the caller (the L2 slice) must retry later.
 func (mc *Controller) Enqueue(now uint64, r *Request) bool {
-	if len(mc.queue) >= mc.capacity {
+	if mc.queue.Len() >= mc.capacity {
 		mc.dropped++
 		return false
 	}
@@ -109,15 +117,18 @@ func (mc *Controller) Enqueue(now uint64, r *Request) bool {
 		panic("dram: request with nil Done callback")
 	}
 	r.arriveAt = now
-	mc.queue = append(mc.queue, r)
+	mc.queue.Push(r)
 	if mc.pr != nil {
 		mc.pr.depth.Add(1)
+	}
+	if mc.wake != nil {
+		mc.wake()
 	}
 	return true
 }
 
 // Pending returns the queue occupancy.
-func (mc *Controller) Pending() int { return len(mc.queue) }
+func (mc *Controller) Pending() int { return mc.queue.Len() }
 
 func (mc *Controller) bankOf(addr uint64) int {
 	return int((addr / mc.rowBytes) % uint64(len(mc.banks)))
@@ -139,15 +150,15 @@ const (
 // operate in parallel; per-bank timing still honours the DRAM parameters.
 func (mc *Controller) Tick(now uint64) {
 	issued := 0
-	for i := 0; i < len(mc.queue) && i < scanWindow && issued < issueWidth; {
-		r := mc.queue[i]
+	for i := 0; i < mc.queue.Len() && i < scanWindow && issued < issueWidth; {
+		r := *mc.queue.At(i)
 		b := &mc.banks[mc.bankOf(r.Addr)]
 		if b.readyAt > now {
 			i++
 			continue
 		}
 		mc.service(now, r, b)
-		mc.queue = append(mc.queue[:i], mc.queue[i+1:]...)
+		mc.queue.RemoveAt(i)
 		issued++
 	}
 }
@@ -209,8 +220,10 @@ func (mc *Controller) service(now uint64, r *Request, b *bank) {
 	r.Done(dataAt)
 }
 
-// Idle reports whether no requests are queued.
-func (mc *Controller) Idle() bool { return len(mc.queue) == 0 }
+// Idle reports whether no requests are queued. An idle controller's Tick is
+// a no-op (bank timing is tracked as absolute ready cycles, not countdowns),
+// so the scheduler may park it until the next Enqueue.
+func (mc *Controller) Idle() bool { return mc.queue.Len() == 0 }
 
 // Stats is a snapshot of controller counters.
 type Stats struct {

@@ -17,6 +17,7 @@ import (
 	"gpunoc/internal/noc"
 	"gpunoc/internal/packet"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/sched"
 	"gpunoc/internal/sm"
 	"gpunoc/internal/tbsched"
 )
@@ -61,10 +62,22 @@ type GPU struct {
 	kernels []*Kernel
 	now     uint64
 
+	// Activity-driven scheduling: SMs are woken by AddWarp/OnReply and
+	// parked by step once Quiescent() holds. smSet is nil when
+	// cfg.ExhaustiveTick is set, selecting the tick-everything reference
+	// path. running counts kernels not yet done, so RunFor can fast-forward
+	// across stretches where no component holds work.
+	smSet   *sched.ActiveSet
+	running int
+
 	// trace is cached from the registry so updateKernels can emit one span
 	// per completed kernel; nil when tracing is disabled.
 	trace       *probe.Trace
 	kernelTrack probe.TrackID
+
+	schedCycles *probe.Counter // cycles actually stepped (not fast-forwarded)
+	smTicks     *probe.Counter // SM Tick calls under the activity scheduler
+	ffwdCycles  *probe.Counter // cycles skipped by RunFor's idle fast-forward
 }
 
 // New builds a GPU for cfg. The configuration is copied; later mutations of
@@ -99,11 +112,20 @@ func New(cfg config.Config) (*GPU, error) {
 			return nil, err
 		}
 	}
+	if !g.cfg.ExhaustiveTick {
+		g.smSet = sched.NewActiveSet(len(g.sms))
+		for i, s := range g.sms {
+			s.SetWaker(func() { g.smSet.Wake(i) })
+		}
+	}
 	if g.cfg.Probes != nil {
 		if tr := g.cfg.Probes.Tracer(); tr != nil {
 			g.trace = tr
 			g.kernelTrack = tr.Track("kernels")
 		}
+		g.schedCycles = g.cfg.Probes.Counter("sched/cycles")
+		g.smTicks = g.cfg.Probes.Counter("sched/sm_ticks")
+		g.ffwdCycles = g.cfg.Probes.Counter("sched/ffwd_cycles")
 	}
 	return g, nil
 }
@@ -168,6 +190,7 @@ func (g *GPU) Launch(spec device.KernelSpec) (*Kernel, error) {
 		}
 	}
 	g.kernels = append(g.kernels, k)
+	g.running++
 	return k, nil
 }
 
@@ -183,15 +206,44 @@ func (g *GPU) LaunchAt(at uint64, spec device.KernelSpec) (*Kernel, error) {
 }
 
 // step advances the GPU by one cycle in a fixed component order: SMs issue,
-// the fabric moves packets, the memory partitions service requests.
+// the fabric moves packets, the memory partitions service requests. Under
+// activity-driven scheduling only active SMs tick (in ascending id order,
+// matching the exhaustive loop); an SM whose warps are all stalled on memory
+// parks itself until a reply or a new warp wakes it.
 func (g *GPU) step() {
-	for _, s := range g.sms {
-		s.Tick(g.now)
+	if g.smSet == nil {
+		for _, s := range g.sms {
+			s.Tick(g.now)
+		}
+	} else if !g.smSet.Empty() {
+		for i, s := range g.sms {
+			if !g.smSet.Active(i) {
+				continue
+			}
+			s.Tick(g.now)
+			if g.smTicks != nil {
+				g.smTicks.Inc()
+			}
+			if s.Quiescent() {
+				g.smSet.Park(i)
+			}
+		}
 	}
 	g.net.Tick(g.now)
 	g.part.Tick(g.now)
 	g.updateKernels()
+	if g.schedCycles != nil {
+		g.schedCycles.Inc()
+	}
 	g.now++
+}
+
+// quiet reports whether every component is parked and no kernel is running:
+// no future cycle can do work until the next Launch, so cycles may be
+// skipped wholesale. Always false in exhaustive mode.
+func (g *GPU) quiet() bool {
+	return g.smSet != nil && g.running == 0 && g.smSet.Empty() &&
+		g.net.Quiet() && g.part.Quiet()
 }
 
 func (g *GPU) updateKernels() {
@@ -209,6 +261,7 @@ func (g *GPU) updateKernels() {
 		if running == 0 {
 			k.done = true
 			k.FinishedAt = g.now
+			g.running--
 			if g.trace != nil {
 				g.trace.Span(g.kernelTrack, k.Spec.Name, k.LaunchedAt, g.now)
 			}
@@ -229,9 +282,21 @@ func (g *GPU) updateKernels() {
 	}
 }
 
-// RunFor advances the simulation n cycles.
+// RunFor advances the simulation n cycles. When the activity scheduler
+// reports the whole device parked with no kernel running, the remaining
+// cycles are skipped in one jump: nothing can change state until the next
+// Launch, and every per-cycle observable (clock registers, probe snapshots)
+// is a pure function of the cycle number.
 func (g *GPU) RunFor(n uint64) {
 	for i := uint64(0); i < n; i++ {
+		if g.quiet() {
+			skipped := n - i
+			g.now += skipped
+			if g.ffwdCycles != nil {
+				g.ffwdCycles.Add(skipped)
+			}
+			break
+		}
 		g.step()
 	}
 	g.cfg.Meter.Add(n)

@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"testing"
+
+	"gpunoc/internal/config"
+)
+
+// BenchmarkEngineTick measures the per-cycle cost of the engine on the full
+// Volta topology (80 SMs, 48 slices) in the two regimes the activity
+// scheduler targets: a completely idle device, and a sparse workload keeping
+// 2 of 80 SMs busy. Exhaustive ticking pays the full component walk in both;
+// the activity scheduler fast-forwards the former and ticks only the live
+// path in the latter.
+func BenchmarkEngineTick(b *testing.B) {
+	mk := func(b *testing.B) *GPU {
+		cfg := config.Volta()
+		cfg.WarpIssueJitter = 0
+		cfg.L2ServiceJitter = 0
+		g, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+
+	b.Run("idle", func(b *testing.B) {
+		g := mk(b)
+		b.ResetTimer()
+		g.RunFor(uint64(b.N))
+	})
+
+	b.Run("sparse-2sm", func(b *testing.B) {
+		g := mk(b)
+		preloadStreamers(g, 2)
+		spec, _ := streamerKernel("bench", 2, 1, 1<<30, true, false, g.Config().L2LineBytes)
+		if _, err := g.Launch(spec); err != nil {
+			b.Fatal(err)
+		}
+		g.RunFor(10_000) // past dispatch jitter and into steady state
+		b.ResetTimer()
+		g.RunFor(uint64(b.N))
+	})
+}

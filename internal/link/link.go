@@ -17,6 +17,7 @@ import (
 	"gpunoc/internal/arb"
 	"gpunoc/internal/packet"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/ring"
 )
 
 // Deliver receives a packet when it exits the link (after serialization and
@@ -50,9 +51,11 @@ type Link struct {
 	latency uint64 // pipeline latency after serialization, cycles
 
 	arbiter arb.Arbiter
-	queues  [][]queued
-	pipe    []inflight // FIFO: serialization end times are monotonic
+	queues  []ring.Buffer[queued]
+	pipe    ring.Buffer[inflight] // FIFO: serialization end times are monotonic
+	heads   []*packet.Packet      // reused arbitration scratch, one slot per input
 	out     Deliver
+	wake    func() // activity wake edge (see SetWaker); nil outside a scheduler
 
 	lastEnd uint64 // scaled (cycles*num) time the channel frees up
 	stats   Stats
@@ -92,10 +95,17 @@ func New(name string, inputs, rateNum, rateDen, latency int, a arb.Arbiter, out 
 		den:     uint64(rateDen),
 		latency: uint64(latency),
 		arbiter: a,
-		queues:  make([][]queued, inputs),
+		queues:  make([]ring.Buffer[queued], inputs),
+		heads:   make([]*packet.Packet, inputs),
 		out:     out,
 	}, nil
 }
+
+// SetWaker registers the activity wake edge: w is invoked on every Enqueue,
+// so the container that parked this link (because Idle() held) knows to tick
+// it again. A nil waker (the default) leaves Enqueue unobserved — correct
+// when the link is ticked exhaustively.
+func (l *Link) SetWaker(w func()) { l.wake = w }
 
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
@@ -140,25 +150,30 @@ func (l *Link) Enqueue(now uint64, in int, p *packet.Packet) {
 	if in < 0 || in >= len(l.queues) {
 		panic(fmt.Sprintf("link %s: enqueue on input %d of %d", l.name, in, len(l.queues)))
 	}
-	l.queues[in] = append(l.queues[in], queued{p: p, enqueued: now})
-	if n := len(l.queues[in]); n > l.stats.MaxQueueLen {
+	l.queues[in].Push(queued{p: p, enqueued: now})
+	if n := l.queues[in].Len(); n > l.stats.MaxQueueLen {
 		l.stats.MaxQueueLen = n
 	}
 	if l.pr != nil {
 		l.pr.depth.Add(1)
 	}
+	if l.wake != nil {
+		l.wake()
+	}
 }
 
 // QueueLen reports the occupancy of one input queue (tests and debugging).
-func (l *Link) QueueLen(in int) int { return len(l.queues[in]) }
+func (l *Link) QueueLen(in int) int { return l.queues[in].Len() }
 
-// Idle reports whether the link holds no queued or in-flight packets.
+// Idle reports whether the link holds no queued or in-flight packets. An
+// idle link's Tick is a no-op, so the scheduler may park it until the next
+// Enqueue.
 func (l *Link) Idle() bool {
-	if len(l.pipe) > 0 {
+	if l.pipe.Len() > 0 {
 		return false
 	}
-	for _, q := range l.queues {
-		if len(q) > 0 {
+	for i := range l.queues {
+		if l.queues[i].Len() > 0 {
 			return false
 		}
 	}
@@ -171,9 +186,8 @@ func (l *Link) Idle() bool {
 func (l *Link) Tick(now uint64) {
 	// Phase 1: delivery. The pipe is FIFO because serialization-end times
 	// are monotonic.
-	for len(l.pipe) > 0 && l.pipe[0].deliverAt <= now {
-		f := l.pipe[0]
-		l.pipe = l.pipe[1:]
+	for l.pipe.Len() > 0 && l.pipe.Front().deliverAt <= now {
+		f := l.pipe.Pop()
 		l.out(now, f.p)
 	}
 
@@ -183,32 +197,30 @@ func (l *Link) Tick(now uint64) {
 	if l.lastEnd < nowScaled {
 		l.lastEnd = nowScaled // bandwidth does not accumulate while idle
 	}
-	heads := make([]*packet.Packet, len(l.queues))
 	for l.lastEnd < (now+1)*l.num {
 		loaded := false
-		for i, q := range l.queues {
-			if len(q) > 0 {
-				heads[i] = q[0].p
+		for i := range l.queues {
+			if l.queues[i].Len() > 0 {
+				l.heads[i] = l.queues[i].Front().p
 				loaded = true
 			} else {
-				heads[i] = nil
+				l.heads[i] = nil
 			}
 		}
 		if !loaded {
 			return
 		}
-		g := l.arbiter.Grant(now, heads)
+		g := l.arbiter.Grant(now, l.heads)
 		if g < 0 {
 			return // SRR idle slot: bandwidth burns, nothing moves
 		}
-		item := l.queues[g][0]
-		l.queues[g] = l.queues[g][1:]
+		item := l.queues[g].Pop()
 
 		flits := uint64(item.p.Flits())
 		l.lastEnd += flits * l.den
 		// Serialization finishes at ceil(lastEnd/num) cycles.
 		doneCycle := (l.lastEnd + l.num - 1) / l.num
-		l.pipe = append(l.pipe, inflight{p: item.p, deliverAt: doneCycle + l.latency})
+		l.pipe.Push(inflight{p: item.p, deliverAt: doneCycle + l.latency})
 
 		l.stats.Packets++
 		l.stats.Flits += flits

@@ -394,3 +394,43 @@ func TestAgeArbitrationAcrossInputs(t *testing.T) {
 		t.Errorf("delivery order: %v, want the older packet first", c.pkts)
 	}
 }
+
+// TestTickDoesNotAllocate pins the hot path at zero heap allocations: an
+// idle link's Tick must allocate nothing, and neither must a steady-state
+// tick that grants a queued packet and delivers a due one. Ring buffers
+// reach steady capacity after warmup; regressing this (e.g. by slicing a
+// queue's backing array per pop) shows up immediately as a nonzero count.
+func TestTickDoesNotAllocate(t *testing.T) {
+	l, err := New("alloc", 2, 1, 1, 2, newRR(t, 2), func(uint64, *packet.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := uint64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		l.Tick(now)
+		now++
+	}); n != 0 {
+		t.Errorf("idle Tick allocates %v times per call, want 0", n)
+	}
+
+	// Warm up the rings past their steady-state capacity, then drain.
+	p := mkPacket(1, packet.ReadReq)
+	for i := 0; i < 32; i++ {
+		l.Enqueue(now, i%2, p)
+	}
+	for !l.Idle() {
+		l.Tick(now)
+		now++
+	}
+
+	// Steady state: one enqueue and one tick per cycle. Every allocation
+	// here would be on the per-granted-packet path.
+	if n := testing.AllocsPerRun(100, func() {
+		l.Enqueue(now, 0, p)
+		l.Tick(now)
+		now++
+	}); n != 0 {
+		t.Errorf("steady-state Enqueue+Tick allocates %v times per call, want 0", n)
+	}
+}

@@ -137,6 +137,8 @@ func engineAndBelow() []string {
 		"internal/noc",
 		"internal/packet",
 		"internal/probe",
+		"internal/ring",
+		"internal/sched",
 		"internal/sm",
 		"internal/stats",
 		"internal/tbsched",
@@ -167,6 +169,8 @@ func DefaultRules() *Rules {
 
 				// Leaves: no module-local imports at all.
 				"internal/packet": {},
+				"internal/ring":   {},
+				"internal/sched":  {},
 				"internal/stats":  {},
 				"internal/warp":   {},
 
@@ -181,22 +185,30 @@ func DefaultRules() *Rules {
 				"internal/cache":    {"internal/config", "internal/packet", "internal/probe"},
 				"internal/clockreg": {"internal/config"},
 				"internal/device":   {"internal/warp"},
-				"internal/dram":     {"internal/config", "internal/probe"},
+				"internal/dram":     {"internal/config", "internal/probe", "internal/ring"},
 				"internal/tbsched":  {"internal/config"},
-				"internal/link":     {"internal/arb", "internal/config", "internal/packet", "internal/probe"},
-				"internal/noc":      {"internal/arb", "internal/config", "internal/link", "internal/packet", "internal/probe"},
-				"internal/mem":      {"internal/cache", "internal/config", "internal/dram", "internal/packet", "internal/probe"},
+				"internal/link":     {"internal/arb", "internal/config", "internal/packet", "internal/probe", "internal/ring"},
+				"internal/noc": {
+					"internal/arb", "internal/config", "internal/link",
+					"internal/packet", "internal/probe", "internal/sched",
+				},
+				"internal/mem": {
+					"internal/cache", "internal/config", "internal/dram",
+					"internal/packet", "internal/probe", "internal/ring",
+					"internal/sched",
+				},
 				"internal/sm": {
 					"internal/cache", "internal/clockreg", "internal/config",
 					"internal/device", "internal/packet", "internal/probe",
-					"internal/warp",
+					"internal/ring", "internal/warp",
 				},
 
 				// The cycle-driven top level.
 				"internal/engine": {
 					"internal/clockreg", "internal/config", "internal/device",
 					"internal/mem", "internal/noc", "internal/packet",
-					"internal/probe", "internal/sm", "internal/tbsched",
+					"internal/probe", "internal/sched", "internal/sm",
+					"internal/tbsched",
 				},
 
 				// The attack, prior-work channels, and reverse engineering.

@@ -17,6 +17,8 @@ import (
 	"gpunoc/internal/dram"
 	"gpunoc/internal/packet"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/ring"
+	"gpunoc/internal/sched"
 )
 
 // Deliver receives completed reply packets from a slice.
@@ -84,15 +86,16 @@ type Slice struct {
 	lineBytes  uint64
 	numSlices  uint64
 
-	inq     []*packet.Packet
+	inq     ring.Buffer[*packet.Packet]
 	replies replyHeap
 	fills   fillHeap
 	seq     uint64
 	waiting map[uint64][]*packet.Packet // line addr -> packets on an MSHR
+	wake    func()                      // activity wake edge (see SetWaker); nil outside a scheduler
 
 	rng       *rand.Rand
 	jitterMax int
-	retries   []uint64 // line fetches whose MC submission must be retried
+	retries   ring.Buffer[uint64] // line fetches whose MC submission must be retried
 
 	// atomicFree serializes atomics per line: the cycle each line's
 	// read-modify-write unit frees up. Consecutive atomics to one address
@@ -166,6 +169,14 @@ func (s *Slice) localAddr(addr uint64) uint64 {
 	return (lineNo/s.numSlices)*s.lineBytes + addr%s.lineBytes
 }
 
+// SetWaker registers the activity wake edge: w is invoked on every Accept,
+// so the container that parked this slice (because Idle() held) knows to
+// tick it again. Accept is the only external event that can make an idle
+// slice non-idle: replies, fills, MSHR waiters and retries all descend from
+// a previously accepted request, during which the slice is never parked. A
+// nil waker (the default) is correct when the slice is ticked exhaustively.
+func (s *Slice) SetWaker(w func()) { s.wake = w }
+
 // Accept hands a request packet to the slice. Called by the NoC delivery
 // path; the slice's ingress rate limit is enforced by the NoC link feeding
 // it, so Accept never rejects.
@@ -173,9 +184,12 @@ func (s *Slice) Accept(now uint64, p *packet.Packet) {
 	if !p.Kind.IsRequest() {
 		panic(fmt.Sprintf("mem: slice %d received non-request %v", s.id, p))
 	}
-	s.inq = append(s.inq, p)
+	s.inq.Push(p)
 	if s.pr != nil {
 		s.pr.inqDepth.Add(1)
+	}
+	if s.wake != nil {
+		s.wake()
 	}
 }
 
@@ -217,18 +231,18 @@ func (s *Slice) Tick(now uint64) {
 		item := heap.Pop(&s.fills).(scheduledFill)
 		s.completeFill(item.at, item.la)
 	}
-	if len(s.retries) > 0 {
-		la := s.retries[0]
+	if s.retries.Len() > 0 {
+		la := *s.retries.Front()
 		if s.mc.Enqueue(now, &dram.Request{Addr: la, Write: false, Done: func(at uint64) {
 			s.scheduleFill(at, la)
 		}}) {
-			s.retries = s.retries[1:]
+			s.retries.Pop()
 		}
 	}
-	if len(s.inq) == 0 {
+	if s.inq.Len() == 0 {
 		return
 	}
-	p := s.inq[0]
+	p := *s.inq.Front()
 	write := p.Kind == packet.WriteReq
 	switch s.cache.Access(s.localAddr(p.Addr), write) {
 	case cache.Hit:
@@ -266,7 +280,7 @@ func (s *Slice) Tick(now uint64) {
 			// MC queue full: retry on subsequent ticks. The MSHR stays
 			// allocated; completeFill drains all waiters when the retried
 			// fetch eventually lands.
-			s.retries = append(s.retries, la)
+			s.retries.Push(la)
 		}
 	case cache.MissMerged:
 		s.misses++
@@ -276,7 +290,7 @@ func (s *Slice) Tick(now uint64) {
 		// MSHR file full: leave the packet queued and stall this cycle.
 		return
 	}
-	s.inq = s.inq[1:]
+	s.inq.Pop()
 	s.served++
 	if s.pr != nil {
 		s.pr.inqDepth.Add(-1)
@@ -325,10 +339,12 @@ func (s *Slice) completeFill(at uint64, la uint64) {
 // their buffers once before signaling).
 func (s *Slice) Preload(addr uint64) { s.cache.Fill(s.localAddr(addr), false) }
 
-// Idle reports whether the slice holds no queued work.
+// Idle reports whether the slice holds no queued work. An idle slice's Tick
+// is a no-op (all schedules are absolute cycles, nothing counts down), so
+// the scheduler may park it until the next Accept.
 func (s *Slice) Idle() bool {
-	return len(s.inq) == 0 && len(s.replies) == 0 && len(s.waiting) == 0 &&
-		len(s.retries) == 0 && len(s.fills) == 0
+	return s.inq.Len() == 0 && len(s.replies) == 0 && len(s.waiting) == 0 &&
+		s.retries.Len() == 0 && len(s.fills) == 0
 }
 
 // Stats is a snapshot of slice counters.
@@ -345,6 +361,16 @@ type Partition struct {
 	cfg    *config.Config
 	slices []*Slice
 	mcs    []*dram.Controller
+
+	// Activity-driven scheduling: members are woken by their Accept/Enqueue
+	// edges and parked by Tick once Idle() holds. Both sets are nil when
+	// cfg.ExhaustiveTick is set, selecting the tick-everything reference
+	// path.
+	actSlices *sched.ActiveSet
+	actMCs    *sched.ActiveSet
+
+	sliceTicks *probe.Counter // nil when uninstrumented
+	mcTicks    *probe.Counter
 }
 
 // NewPartition builds all slices and controllers. out receives every reply
@@ -380,6 +406,20 @@ func NewPartition(cfg *config.Config, out Deliver) (*Partition, error) {
 		}
 		p.slices[i] = sl
 	}
+	if !cfg.ExhaustiveTick {
+		p.actMCs = sched.NewActiveSet(len(p.mcs))
+		for i, mc := range p.mcs {
+			mc.SetWaker(func() { p.actMCs.Wake(i) })
+		}
+		p.actSlices = sched.NewActiveSet(len(p.slices))
+		for i, sl := range p.slices {
+			sl.SetWaker(func() { p.actSlices.Wake(i) })
+		}
+	}
+	if cfg.Probes != nil {
+		p.sliceTicks = cfg.Probes.Counter("sched/slice_ticks")
+		p.mcTicks = cfg.Probes.Counter("sched/mc_ticks")
+	}
 	return p, nil
 }
 
@@ -414,14 +454,56 @@ func (p *Partition) Preload(base, size uint64) {
 	}
 }
 
-// Tick advances every slice and controller one cycle.
+// Tick advances every slice and controller one cycle. Under activity-driven
+// scheduling only active members tick, in the same ascending order as the
+// exhaustive loops: controllers first (a slice miss this cycle therefore
+// reaches its controller next cycle, with or without the scheduler), then
+// slices.
 func (p *Partition) Tick(now uint64) {
-	for _, mc := range p.mcs {
-		mc.Tick(now)
+	if p.actMCs == nil {
+		for _, mc := range p.mcs {
+			mc.Tick(now)
+		}
+		for _, s := range p.slices {
+			s.Tick(now)
+		}
+		return
 	}
-	for _, s := range p.slices {
-		s.Tick(now)
+	if !p.actMCs.Empty() {
+		for i, mc := range p.mcs {
+			if !p.actMCs.Active(i) {
+				continue
+			}
+			mc.Tick(now)
+			if p.mcTicks != nil {
+				p.mcTicks.Inc()
+			}
+			if mc.Idle() {
+				p.actMCs.Park(i)
+			}
+		}
 	}
+	if !p.actSlices.Empty() {
+		for i, s := range p.slices {
+			if !p.actSlices.Active(i) {
+				continue
+			}
+			s.Tick(now)
+			if p.sliceTicks != nil {
+				p.sliceTicks.Inc()
+			}
+			if s.Idle() {
+				p.actSlices.Park(i)
+			}
+		}
+	}
+}
+
+// Quiet reports whether the activity scheduler has every slice and
+// controller parked, i.e. the next Tick would do no work. Always false in
+// exhaustive mode, where nothing is ever parked.
+func (p *Partition) Quiet() bool {
+	return p.actMCs != nil && p.actMCs.Empty() && p.actSlices.Empty()
 }
 
 // Idle reports whether all slices and controllers are drained.

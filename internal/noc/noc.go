@@ -15,6 +15,8 @@ import (
 	"gpunoc/internal/config"
 	"gpunoc/internal/link"
 	"gpunoc/internal/packet"
+	"gpunoc/internal/probe"
+	"gpunoc/internal/sched"
 )
 
 // Deliver receives packets at the fabric edges.
@@ -37,6 +39,21 @@ type Network struct {
 
 	toSlice Deliver // request egress (the memory partition)
 	toSM    Deliver // reply egress (the SMs)
+
+	// Activity-driven scheduling: one active set per tick group, in tick
+	// order. A link is woken by its Enqueue edge and parked by Tick once
+	// Idle() holds; because upstream groups tick before downstream ones, an
+	// enqueue made while ticking group k reaches a group >k link the same
+	// cycle, exactly as under exhaustive ticking. All sets are nil when
+	// cfg.ExhaustiveTick is set, selecting the tick-everything reference
+	// path.
+	actReqTPC *sched.ActiveSet
+	actReqGPC *sched.ActiveSet
+	actXbar   *sched.ActiveSet
+	actRepGPC *sched.ActiveSet
+	actRepTPC *sched.ActiveSet
+
+	linkTicks *probe.Counter // nil when uninstrumented
 }
 
 // New wires the fabric for cfg. toSlice receives request packets at their
@@ -163,6 +180,22 @@ func New(cfg *config.Config, toSlice, toSM Deliver) (*Network, error) {
 				l.Instrument(cfg.Probes, "noc/")
 			}
 		}
+		n.linkTicks = cfg.Probes.Counter("sched/link_ticks")
+	}
+
+	if !cfg.ExhaustiveTick {
+		wire := func(group []*link.Link) *sched.ActiveSet {
+			set := sched.NewActiveSet(len(group))
+			for i, l := range group {
+				l.SetWaker(func() { set.Wake(i) })
+			}
+			return set
+		}
+		n.actReqTPC = wire(n.reqTPC)
+		n.actReqGPC = wire(n.reqGPC)
+		n.actXbar = wire(n.xbarIn)
+		n.actRepGPC = wire(n.repGPC)
+		n.actRepTPC = wire(n.repTPC)
 	}
 
 	return n, nil
@@ -198,23 +231,60 @@ func (n *Network) InjectReply(now uint64, p *packet.Packet) {
 
 // Tick advances every link one cycle. Links are ticked leaf-to-root on the
 // request path and root-to-leaf on the reply path so a packet can traverse
-// at most one hop per cycle deterministically.
+// at most one hop per cycle deterministically. Under activity-driven
+// scheduling only active links tick, in the same group and index order.
 func (n *Network) Tick(now uint64) {
-	for _, l := range n.reqTPC {
-		l.Tick(now)
+	if n.actReqTPC == nil {
+		for _, l := range n.reqTPC {
+			l.Tick(now)
+		}
+		for _, l := range n.reqGPC {
+			l.Tick(now)
+		}
+		for _, l := range n.xbarIn {
+			l.Tick(now)
+		}
+		for _, l := range n.repGPC {
+			l.Tick(now)
+		}
+		for _, l := range n.repTPC {
+			l.Tick(now)
+		}
+		return
 	}
-	for _, l := range n.reqGPC {
-		l.Tick(now)
+	n.tickGroup(now, n.actReqTPC, n.reqTPC)
+	n.tickGroup(now, n.actReqGPC, n.reqGPC)
+	n.tickGroup(now, n.actXbar, n.xbarIn)
+	n.tickGroup(now, n.actRepGPC, n.repGPC)
+	n.tickGroup(now, n.actRepTPC, n.repTPC)
+}
+
+// tickGroup ticks the active links of one group in ascending index order,
+// parking each one that drained.
+func (n *Network) tickGroup(now uint64, set *sched.ActiveSet, group []*link.Link) {
+	if set.Empty() {
+		return
 	}
-	for _, l := range n.xbarIn {
+	for i, l := range group {
+		if !set.Active(i) {
+			continue
+		}
 		l.Tick(now)
+		if n.linkTicks != nil {
+			n.linkTicks.Inc()
+		}
+		if l.Idle() {
+			set.Park(i)
+		}
 	}
-	for _, l := range n.repGPC {
-		l.Tick(now)
-	}
-	for _, l := range n.repTPC {
-		l.Tick(now)
-	}
+}
+
+// Quiet reports whether the activity scheduler has every link parked, i.e.
+// the next Tick would do no work. Always false in exhaustive mode, where
+// nothing is ever parked.
+func (n *Network) Quiet() bool {
+	return n.actReqTPC != nil && n.actReqTPC.Empty() && n.actReqGPC.Empty() &&
+		n.actXbar.Empty() && n.actRepGPC.Empty() && n.actRepTPC.Empty()
 }
 
 // Idle reports whether no packets are queued or in flight anywhere.

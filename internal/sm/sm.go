@@ -16,6 +16,7 @@ import (
 	"gpunoc/internal/device"
 	"gpunoc/internal/packet"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/ring"
 	"gpunoc/internal/warp"
 )
 
@@ -40,19 +41,20 @@ type SM struct {
 	inject Inject
 
 	warps        []*resident
-	pending      []*packet.Packet
+	pending      ring.Buffer[*packet.Packet]
 	outstanding  int
 	nextPktID    uint64
 	rrNext       int
 	nextInjectAt uint64
 	rng          *rand.Rand
+	wake         func() // activity wake edge (see SetWaker); nil outside a scheduler
 
 	// l1 is the per-SM unified L1; loads not compiled with the -dlcm=cg
 	// analogue are serviced here first. Writes are write-through and
 	// no-allocate, so only loads populate it. All kernels resident on the
 	// SM share it — the surface the L1 prime+probe baseline channel uses.
 	l1       *cache.Cache
-	l1Hits   []l1Hit // locally-completing load hits (FIFO: fixed latency)
+	l1Hits   ring.Buffer[l1Hit] // locally-completing load hits (FIFO: fixed latency)
 	l1HitLat uint64
 
 	// Counters.
@@ -119,6 +121,12 @@ type l1Hit struct {
 // its state).
 func (s *SM) L1() *cache.Cache { return s.l1 }
 
+// SetWaker registers the activity wake edge: w is invoked whenever external
+// input can make a quiescent SM do work again — a warp becoming resident
+// (AddWarp) or a reply arriving from the NoC (OnReply). A nil waker (the
+// default) is correct when the SM is ticked exhaustively.
+func (s *SM) SetWaker(w func()) { s.wake = w }
+
 // ID returns the SM id (the %smid register).
 func (s *SM) ID() int { return s.id }
 
@@ -160,6 +168,9 @@ func (s *SM) AddWarp(now uint64, kernel, block, warpID int, prog device.Program)
 	r.w.State = warp.WaitingCycle
 	r.w.WakeAt = now + 1 + jitter
 	s.warps[slot] = r
+	if s.wake != nil {
+		s.wake()
+	}
 	return nil
 }
 
@@ -204,18 +215,16 @@ func (s *SM) Tick(now uint64) {
 	}
 
 	// Complete due L1 hits (FIFO: constant latency keeps them ordered).
-	for len(s.l1Hits) > 0 && s.l1Hits[0].at <= now {
-		h := s.l1Hits[0]
-		s.l1Hits = s.l1Hits[1:]
+	for s.l1Hits.Len() > 0 && s.l1Hits.Front().at <= now {
+		h := s.l1Hits.Pop()
 		s.completeRequest(now, h.warp, h.op)
 	}
 
 	// LSU: one packet per LSUInjectPeriod cycles into the TPC mux, bounded
 	// by the outstanding-request budget (the MSHR/LSU queue analogue).
-	if len(s.pending) > 0 {
+	if s.pending.Len() > 0 {
 		if s.outstanding < s.cfg.LSUQueueDepth && now >= s.nextInjectAt {
-			p := s.pending[0]
-			s.pending = s.pending[1:]
+			p := s.pending.Pop()
 			p.IssueCycle = now
 			s.outstanding++
 			s.injected++
@@ -281,11 +290,11 @@ func (s *SM) step(now uint64, r *resident) {
 			if useL1 && s.l1.Probe(la) {
 				// L1 load hit: completes locally without NoC traffic.
 				s.l1.Access(la, false) // refresh recency
-				s.l1Hits = append(s.l1Hits, l1Hit{at: now + s.l1HitLat, warp: r.w.ID, op: r.w.OpSeq})
+				s.l1Hits.Push(l1Hit{at: now + s.l1HitLat, warp: r.w.ID, op: r.w.OpSeq})
 				continue
 			}
 			s.nextPktID++
-			s.pending = append(s.pending, &packet.Packet{
+			s.pending.Push(&packet.Packet{
 				ID:       s.nextPktID,
 				Kind:     kind,
 				Tag:      packet.WarpTag{SM: s.id, Warp: r.w.ID, Op: r.w.OpSeq},
@@ -329,6 +338,9 @@ func (s *SM) OnReply(now uint64, p *packet.Packet) {
 	}
 	s.outstanding--
 	s.replies++
+	if s.wake != nil {
+		s.wake()
+	}
 	if p.Kind == packet.ReadReply && !p.BypassL1 {
 		// Allocate the returning line in L1 for future local hits.
 		s.l1.Fill(p.Addr, false)
@@ -364,11 +376,32 @@ func (s *SM) completeRequest(now uint64, warpSlot int, opSeq uint64) {
 // Idle reports whether the SM has no runnable work (all warps finished and
 // no requests pending or outstanding).
 func (s *SM) Idle() bool {
-	if len(s.pending) > 0 || s.outstanding > 0 || len(s.l1Hits) > 0 {
+	if s.pending.Len() > 0 || s.outstanding > 0 || s.l1Hits.Len() > 0 {
 		return false
 	}
 	for _, r := range s.warps {
 		if r != nil && r.w.State != warp.Finished {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether ticking the SM is a no-op until its next wake
+// edge (AddWarp or OnReply): nothing pending in the LSU, no local L1 hits in
+// flight, and no warp that could be woken or issued — every live warp is
+// stalled on memory replies that arrive via OnReply. The scheduler parks a
+// quiescent SM; unlike Idle, this also covers an SM whose warps are all
+// waiting on the NoC, which is most of a memory-bound SM's lifetime.
+func (s *SM) Quiescent() bool {
+	if s.pending.Len() > 0 || s.l1Hits.Len() > 0 {
+		return false
+	}
+	for _, r := range s.warps {
+		if r == nil {
+			continue
+		}
+		if st := r.w.State; st == warp.Ready || st == warp.WaitingCycle {
 			return false
 		}
 	}
