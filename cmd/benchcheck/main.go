@@ -1,0 +1,144 @@
+// benchcheck gates benchmark results against the checked-in baseline.
+//
+// It reads `go test -bench` output (stdin by default) and compares every
+// EngineTick sub-benchmark against the "after" numbers recorded in
+// BENCH_tick.json, failing when a gated metric drifts outside the tolerance
+// band. Baseline entries with "gate": false are reported but never enforced
+// (the idle number is an O(1) fast-forward measured in fractions of a
+// nanosecond — pure environment noise).
+//
+// Usage:
+//
+//	go test ./internal/engine -run xxx -bench EngineTick -benchtime 200000x \
+//	    | go run ./cmd/benchcheck -baseline BENCH_tick.json
+//
+// A failure means either a real regression (fix it) or an intentional
+// performance change (regenerate the baseline with the commands recorded in
+// the file's "how" section and commit the new numbers alongside the change).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type baselineEntry struct {
+	After float64 `json:"after"`
+	Gate  *bool   `json:"gate"`
+	Note  string  `json:"note"`
+}
+
+type baseline struct {
+	EngineTick map[string]baselineEntry `json:"engine_tick_ns_per_cycle"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkEngineTick/sparse-2sm-8   200000   184.7 ns/op
+//
+// The trailing -N is the GOMAXPROCS suffix, omitted when it is 1.
+var benchLine = regexp.MustCompile(`^BenchmarkEngineTick/(\S+?)(-\d+)?\s+\d+\s+([0-9.eE+-]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_tick.json", "baseline JSON file")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional drift from the baseline")
+	in := flag.String("in", "-", "benchmark output to read ('-' for stdin)")
+	flag.Parse()
+
+	if err := run(*baselinePath, *in, *tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, in string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(base.EngineTick) == 0 {
+		return fmt.Errorf("%s: no engine_tick_ns_per_cycle entries", baselinePath)
+	}
+
+	var src io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	measured, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no BenchmarkEngineTick results in input")
+	}
+
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		got := measured[name]
+		entry, ok := base.EngineTick[name]
+		if !ok {
+			fmt.Printf("%-12s %10.4f ns/op  (no baseline entry — add one to %s)\n", name, got, baselinePath)
+			continue
+		}
+		gated := entry.Gate == nil || *entry.Gate
+		drift := got/entry.After - 1
+		status := "ok"
+		if !gated {
+			status = "ungated"
+		} else if drift > tolerance || drift < -tolerance {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-12s %10.4f ns/op  baseline %10.4f  drift %+6.1f%%  %s\n",
+			name, got, entry.After, drift*100, status)
+	}
+	for name := range base.EngineTick {
+		if _, ok := measured[name]; !ok {
+			return fmt.Errorf("baseline metric %q missing from benchmark output", name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d metric(s) outside the ±%.0f%% band; if intentional, regenerate %s (see its \"how\" section)",
+			failures, tolerance*100, baselinePath)
+	}
+	return nil
+}
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = v
+	}
+	return out, sc.Err()
+}

@@ -55,7 +55,11 @@ func main() {
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-16s %-28s %s\n", e.ID, e.Section, e.Title)
+			note := ""
+			if e.FixedScale {
+				note = " [ignores -scale]"
+			}
+			fmt.Printf("%-16s %-28s %s%s\n", e.ID, e.Section, e.Title, note)
 		}
 		return
 	}

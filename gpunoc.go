@@ -21,8 +21,10 @@ import (
 
 	"gpunoc/internal/config"
 	"gpunoc/internal/core"
+	"gpunoc/internal/device"
 	"gpunoc/internal/engine"
 	"gpunoc/internal/experiments"
+	"gpunoc/internal/noise"
 	"gpunoc/internal/reveng"
 )
 
@@ -70,6 +72,37 @@ type Symbol = core.Symbol
 // Transmission is a prepared covert-channel run.
 type Transmission = core.Transmission
 
+// Coding selects the error-correcting code layered over a transmission's
+// symbol stream (ChannelParams.Coding).
+type Coding = core.Coding
+
+// Coding schemes.
+const (
+	CodingNone       = core.CodingNone
+	CodingRepetition = core.CodingRepetition
+	CodingHamming74  = core.CodingHamming74
+)
+
+// NoiseKind selects a background-traffic generator's temporal pattern.
+type NoiseKind = noise.Kind
+
+// Noise generator kinds.
+const (
+	NoiseStream = noise.Stream
+	NoiseBurst  = noise.Burst
+	NoiseRandom = noise.Random
+)
+
+// NoiseSpec describes one background-traffic generator kernel.
+type NoiseSpec = noise.Spec
+
+// NoiseKernels builds generator kernels for the given specs (silent specs
+// produce none); launch them on a GPU alongside a transmission, or pass
+// them to Calibrate for noise-aware thresholds.
+func NoiseKernels(cfg *Config, specs ...NoiseSpec) ([]device.KernelSpec, error) {
+	return noise.Kernels(cfg, specs...)
+}
+
 // GPU is the simulated device (for custom kernels and experiments).
 type GPU = engine.GPU
 
@@ -77,9 +110,11 @@ type GPU = engine.GPU
 func NewGPU(cfg Config) (*GPU, error) { return engine.New(cfg) }
 
 // Calibrate determines the channel's latency thresholds empirically (§4.4)
-// by transmitting a known preamble, and returns params ready for use.
-func Calibrate(cfg *Config, p ChannelParams) (ChannelParams, error) {
-	return core.Calibrate(cfg, p, 0)
+// by transmitting a known preamble, and returns params ready for use. Any
+// co kernels (e.g. NoiseKernels output) run alongside the calibration so
+// thresholds reflect the channel's operating noise.
+func Calibrate(cfg *Config, p ChannelParams, co ...device.KernelSpec) (ChannelParams, error) {
+	return core.Calibrate(cfg, p, 0, co...)
 }
 
 // NewTPCTransmission prepares a TPC-channel transmission over the given TPCs

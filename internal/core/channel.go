@@ -13,9 +13,14 @@ import (
 // GPC group).
 type PairResult struct {
 	// Unit is the TPC id (TPC channels) or GPC id (GPC channels).
-	Unit     int
+	Unit int
+	// Sent is the unit's data chunk; Received is the raw wire stream the
+	// receiver decoded slot by slot; Decoded is the data recovered after
+	// preamble alignment and code correction (equal to Received under
+	// CodingNone with no preamble). Errors compares Sent against Decoded.
 	Sent     []Symbol
 	Received []Symbol
+	Decoded  []Symbol
 	Errors   int
 	Trace    []SlotTrace
 }
@@ -43,7 +48,8 @@ type Transmission struct {
 
 	receivers []*receiverProgram // one per active unit, same order as chunks
 	units     []int              // unit id per receiver
-	chunks    [][]Symbol         // expected symbols per unit
+	data      [][]Symbol         // payload symbols per unit (pre-coding)
+	chunks    [][]Symbol         // wire symbols per unit (preamble + coded data)
 
 	preloadBase uint64
 	preloadSize uint64
@@ -101,7 +107,9 @@ func NewTPCTransmission(cfg *config.Config, payload []Symbol, tpcs []int, p Para
 		}
 		active[t] = i
 	}
-	tr := &Transmission{cfg: cfg, params: p, chunks: splitPayload(payload, len(tpcs)), units: tpcs}
+	tr := &Transmission{cfg: cfg, params: p, units: tpcs}
+	tr.data = splitPayload(payload, len(tpcs))
+	tr.chunks = tr.wireChunks()
 
 	// Sender: one block per TPC (fills SM slot 0 of every TPC); active
 	// only on the chosen TPCs. The symbol chunk is selected at runtime
@@ -203,7 +211,9 @@ func NewGPCTransmission(cfg *config.Config, payload []Symbol, gpcs []int, p Para
 		active[g] = i
 		recvTPC[g] = cfg.TPCsOfGPC(g)[0]
 	}
-	tr := &Transmission{cfg: cfg, params: p, chunks: splitPayload(payload, len(gpcs)), units: gpcs}
+	tr := &Transmission{cfg: cfg, params: p, units: gpcs}
+	tr.data = splitPayload(payload, len(gpcs))
+	tr.chunks = tr.wireChunks()
 
 	pp := tr.params
 	senderChunk := func(smid int) []Symbol {
@@ -262,6 +272,16 @@ func NewGPCTransmission(cfg *config.Config, payload []Symbol, gpcs []int, p Para
 	return tr, nil
 }
 
+// wireChunks encodes every data chunk into its wire stream (preamble plus
+// coded payload; the identity under CodingNone with no preamble).
+func (tr *Transmission) wireChunks() [][]Symbol {
+	out := make([][]Symbol, len(tr.data))
+	for i, d := range tr.data {
+		out[i] = tr.params.wireSymbols(d)
+	}
+	return out
+}
+
 // bindReceivers wraps the receiver factory so each constructed program
 // registers itself under its unit's slot (discovered from its SM at runtime)
 // and learns its chunk length.
@@ -278,7 +298,8 @@ func (tr *Transmission) bindReceivers(classify func(smid int) (chunkIdx int, act
 			if !ok {
 				return false
 			}
-			prog.count = len(tr.chunks[ci])
+			// Listen for the whole wire stream plus the alignment guard.
+			prog.count = len(tr.chunks[ci]) + tr.params.ResyncGuardSlots
 			tr.receivers[ci] = prog
 			return true
 		}
@@ -328,7 +349,7 @@ func (tr *Transmission) Launch(g *engine.GPU, launchSkew uint64) error {
 func (tr *Transmission) Finish(g *engine.GPU) (Result, error) {
 	symbols := 0
 	for _, c := range tr.chunks {
-		symbols += len(c)
+		symbols += len(c) + tr.params.ResyncGuardSlots
 	}
 	// Budget: generous multiple of the ideal transmission time.
 	budget := uint64(symbols+64) * tr.params.SlotCycles * 8
@@ -344,14 +365,15 @@ func (tr *Transmission) Finish(g *engine.GPU) (Result, error) {
 func (tr *Transmission) decode() (Result, error) {
 	res := Result{Kind: tr.params.Kind}
 	var span uint64
-	for i, chunk := range tr.chunks {
+	for i, chunk := range tr.data {
 		r := tr.receivers[i]
 		if r == nil {
 			return res, fmt.Errorf("core: no receiver activated for unit %d (placement failed)", tr.units[i])
 		}
-		pr := PairResult{Unit: tr.units[i], Sent: chunk, Received: r.Received, Trace: r.Trace}
+		decoded := tr.params.recoverData(r.Received, len(chunk))
+		pr := PairResult{Unit: tr.units[i], Sent: chunk, Received: r.Received, Decoded: decoded, Trace: r.Trace}
 		for j := range chunk {
-			if j >= len(r.Received) || r.Received[j] != chunk[j] {
+			if j >= len(decoded) || decoded[j] != chunk[j] {
 				pr.Errors++
 			}
 		}
@@ -375,7 +397,15 @@ func (tr *Transmission) decode() (Result, error) {
 // transmitting a known alternating preamble over the channel, and returns
 // params with thresholds set to the midpoints between adjacent level means.
 // This is the empirical threshold determination of §4.4.
-func Calibrate(cfg *config.Config, p Params, preambleSlots int) (Params, error) {
+//
+// Any co kernels are launched alongside the calibration transmission, so a
+// channel that will operate under background traffic can measure its level
+// means — and place its thresholds — under that same traffic (noise-aware
+// recalibration; pass the generator kernels from internal/noise). The
+// calibration transmission itself always runs uncoded: coding and preamble
+// only shape the wire stream, and calibration reads raw per-slot latencies
+// from the trace, not decoded symbols.
+func Calibrate(cfg *config.Config, p Params, preambleSlots int, co ...device.KernelSpec) (Params, error) {
 	p2, err := p.withDefaults()
 	if err != nil {
 		return p, err
@@ -388,17 +418,31 @@ func Calibrate(cfg *config.Config, p Params, preambleSlots int) (Params, error) 
 	for i := range payload {
 		payload[i] = Symbol(i % levels)
 	}
+	cal := p2
+	cal.Coding, cal.Repeat, cal.PreambleSymbols, cal.ResyncGuardSlots = CodingNone, 0, 0, 0
 	var tr *Transmission
-	switch p2.Kind {
+	switch cal.Kind {
 	case GPCChannel:
-		tr, err = NewGPCTransmission(cfg, payload, []int{0}, p2)
+		tr, err = NewGPCTransmission(cfg, payload, []int{0}, cal)
 	default:
-		tr, err = NewTPCTransmission(cfg, payload, []int{0}, p2)
+		tr, err = NewTPCTransmission(cfg, payload, []int{0}, cal)
 	}
 	if err != nil {
 		return p, err
 	}
-	res, err := tr.Run()
+	g, err := engine.New(*cfg)
+	if err != nil {
+		return p, err
+	}
+	if err := tr.Launch(g, 0); err != nil {
+		return p, err
+	}
+	for _, k := range co {
+		if _, err := g.Launch(k); err != nil {
+			return p, err
+		}
+	}
+	res, err := tr.Finish(g)
 	if err != nil {
 		return p, err
 	}

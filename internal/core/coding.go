@@ -1,0 +1,253 @@
+package core
+
+import "fmt"
+
+// Coding selects the error-correcting code applied over a unit's Symbol
+// stream. The paper transmits raw symbols and reports the resulting error
+// rate (§5); the coding layer hardens the protocol against background-
+// traffic noise the way MC3's error-handling protocol does for its
+// contention channel — trading wire symbols (bandwidth) for corrected
+// errors. Encoding and decoding happen entirely on the host side of the
+// model (payload preparation and trace decoding); the kernels transmit wire
+// symbols exactly as before, so CodingNone leaves every transmitted cycle
+// untouched.
+type Coding int
+
+const (
+	// CodingNone transmits the payload symbols raw (the paper's protocol).
+	CodingNone Coding = iota
+	// CodingRepetition sends each symbol Repeat times and majority-votes
+	// on receive. Corrects up to (Repeat-1)/2 errors per symbol at a
+	// 1/Repeat bandwidth cost; works for any BitsPerSymbol.
+	CodingRepetition
+	// CodingHamming74 packs data bits in groups of four and sends each as
+	// a 7-bit Hamming codeword, correcting one wire error per codeword at
+	// a 4/7 bandwidth cost. Binary channels only (BitsPerSymbol == 1).
+	CodingHamming74
+)
+
+// String names the coding scheme.
+func (c Coding) String() string {
+	switch c {
+	case CodingNone:
+		return "none"
+	case CodingRepetition:
+		return "repetition"
+	case CodingHamming74:
+		return "hamming74"
+	default:
+		return fmt.Sprintf("Coding(%d)", int(c))
+	}
+}
+
+// Preamble returns the known alignment pattern prepended to each unit's
+// wire stream: the strongest level keyed by a Barker-13 sequence (tiled for
+// longer preambles). Barker codes have minimal off-peak aperiodic
+// autocorrelation, so the correlation search cannot lock onto a shifted
+// copy of the pattern the way it could with a simple square wave, even when
+// individual slots decode wrongly under noise.
+func (p *Params) Preamble() []Symbol {
+	barker13 := [13]byte{1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1}
+	pre := make([]Symbol, p.PreambleSymbols)
+	top := Symbol(p.Levels() - 1)
+	for i := range pre {
+		if barker13[i%len(barker13)] != 0 {
+			pre[i] = top
+		}
+	}
+	return pre
+}
+
+// encodedLen is the number of wire symbols carrying dataLen data symbols,
+// excluding the preamble.
+func (p *Params) encodedLen(dataLen int) int {
+	switch p.Coding {
+	case CodingRepetition:
+		return dataLen * p.Repeat
+	case CodingHamming74:
+		return (dataLen + 3) / 4 * 7
+	default:
+		return dataLen
+	}
+}
+
+// WireLen is the total wire symbols transmitted for one unit's dataLen data
+// symbols: preamble plus coded payload. It applies parameter defaults first,
+// so it answers correctly even for a Params that has not been through a
+// constructor (e.g. CodingRepetition with the Repeat factor left zero).
+func (p *Params) WireLen(dataLen int) int {
+	if q, err := p.withDefaults(); err == nil {
+		p = &q
+	}
+	return p.PreambleSymbols + p.encodedLen(dataLen)
+}
+
+// wireSymbols builds the transmitted stream for one unit: preamble followed
+// by the coded payload. Coded symbols are block-interleaved across the
+// unit's stream — all first copies / first codeword bits, then all second
+// ones, and so on — so that a burst of consecutive bad slots (a noise burst,
+// a resync transient) lands in different vote groups or codewords instead
+// of overwhelming one.
+func (p *Params) wireSymbols(data []Symbol) []Symbol {
+	out := p.Preamble()
+	switch p.Coding {
+	case CodingRepetition:
+		for r := 0; r < p.Repeat; r++ {
+			out = append(out, data...)
+		}
+	case CodingHamming74:
+		words := (len(data) + 3) / 4
+		cw := hammingCodewords()
+		for b := 0; b < 7; b++ {
+			for w := 0; w < words; w++ {
+				word := 0
+				for j := 0; j < 4 && w*4+j < len(data); j++ {
+					if data[w*4+j] != 0 {
+						word |= 1 << j
+					}
+				}
+				out = append(out, Symbol(cw[word]>>b&1))
+			}
+		}
+	default:
+		out = append(out, data...)
+	}
+	return out
+}
+
+// recoverData decodes one unit's raw received stream back into data
+// symbols: it re-acquires alignment against the preamble (searching up to
+// ResyncGuardSlots of receiver-side slot offset), strips the preamble, and
+// inverts the coding. The result may be shorter than dataLen when the
+// receiver's stream was cut short; the caller counts missing symbols as
+// errors, matching the uncoded decode loop.
+func (p *Params) recoverData(received []Symbol, dataLen int) []Symbol {
+	off := p.alignOffset(received)
+	start := off + p.PreambleSymbols
+	if start > len(received) {
+		return nil
+	}
+	wire := received[start:]
+	if enc := p.encodedLen(dataLen); len(wire) > enc {
+		wire = wire[:enc]
+	}
+	switch p.Coding {
+	case CodingRepetition:
+		// The de-interleave stride is the encode-time dataLen; a truncated
+		// stream just has fewer surviving copies per symbol. Symbols with no
+		// surviving copy at all (i >= len(wire)) are omitted so the caller
+		// counts them as missing, like the uncoded decode loop.
+		out := make([]Symbol, 0, dataLen)
+		for i := 0; i < dataLen && i < len(wire); i++ {
+			group := make([]Symbol, 0, p.Repeat)
+			for r := 0; r < p.Repeat; r++ {
+				if pos := r*dataLen + i; pos < len(wire) {
+					group = append(group, wire[pos])
+				}
+			}
+			out = append(out, majority(group, p.Levels()))
+		}
+		return out
+	case CodingHamming74:
+		words := (dataLen + 3) / 4
+		cw := hammingCodewords()
+		out := make([]Symbol, 0, dataLen)
+		for w := 0; w < words && w < len(wire); w++ {
+			word := 0
+			for b := 0; b < 7; b++ {
+				if pos := b*words + w; pos < len(wire) && wire[pos] != 0 {
+					word |= 1 << b
+				}
+			}
+			d := nearestCodeword(cw, word)
+			for j := 0; j < 4 && len(out) < dataLen; j++ {
+				out = append(out, Symbol(d>>j&1))
+			}
+		}
+		return out
+	default:
+		if len(wire) > dataLen {
+			wire = wire[:dataLen]
+		}
+		return wire
+	}
+}
+
+// alignOffset correlates the received stream against the known preamble
+// over offsets [0, ResyncGuardSlots] and returns the best match (lowest
+// offset wins ties, so a clean channel always aligns at zero).
+func (p *Params) alignOffset(received []Symbol) int {
+	if p.PreambleSymbols == 0 || p.ResyncGuardSlots == 0 {
+		return 0
+	}
+	pre := p.Preamble()
+	best, bestScore := 0, -1
+	for off := 0; off <= p.ResyncGuardSlots; off++ {
+		score := 0
+		for i, s := range pre {
+			if off+i < len(received) && received[off+i] == s {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = off, score
+		}
+	}
+	return best
+}
+
+// majority returns the most frequent symbol in group (lowest value wins a
+// tie, which cannot happen for odd repetition factors on a binary channel).
+func majority(group []Symbol, levels int) Symbol {
+	counts := make([]int, levels)
+	for _, s := range group {
+		if int(s) >= 0 && int(s) < levels {
+			counts[s]++
+		}
+	}
+	best := 0
+	for l := 1; l < levels; l++ {
+		if counts[l] > counts[best] {
+			best = l
+		}
+	}
+	return Symbol(best)
+}
+
+// hammingCodewords builds the 16 codewords of the systematic Hamming(7,4)
+// code: bits 0-3 carry the data nibble, bits 4-6 the parity checks.
+// Computed on demand to keep the package free of mutable globals.
+func hammingCodewords() [16]int {
+	var cw [16]int
+	for d := 0; d < 16; d++ {
+		d1, d2, d3, d4 := d&1, d>>1&1, d>>2&1, d>>3&1
+		p1 := d1 ^ d2 ^ d4
+		p2 := d1 ^ d3 ^ d4
+		p3 := d2 ^ d3 ^ d4
+		cw[d] = d | p1<<4 | p2<<5 | p3<<6
+	}
+	return cw
+}
+
+// nearestCodeword decodes one received 7-bit word to the data nibble of the
+// closest codeword (minimum Hamming distance; the lowest nibble wins ties).
+// Within distance one of a codeword this is exact single-error correction.
+func nearestCodeword(cw [16]int, word int) int {
+	best, bestDist := 0, 8
+	for d, c := range cw {
+		dist := popcount7(word ^ c)
+		if dist < bestDist {
+			best, bestDist = d, dist
+		}
+	}
+	return best
+}
+
+func popcount7(v int) int {
+	n := 0
+	for v != 0 {
+		n += v & 1
+		v >>= 1
+	}
+	return n
+}

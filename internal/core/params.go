@@ -106,6 +106,28 @@ type Params struct {
 	// Synchronization() of Algorithm 2 resets.
 	DriftJitter int
 
+	// Coding selects the error-correcting code applied over each unit's
+	// Symbol stream before transmission (coding.go). The default,
+	// CodingNone, transmits the payload raw — the paper's protocol — and
+	// leaves every wire byte identical to the uncoded channel.
+	Coding Coding
+
+	// Repeat is the repetition factor for CodingRepetition (default 3).
+	// Must be odd so the majority vote cannot tie, and zero unless
+	// repetition coding is selected.
+	Repeat int
+
+	// PreambleSymbols prepends this many known alternating symbols to each
+	// unit's wire stream. The decoder correlates against the pattern to
+	// re-acquire slot alignment after desync (see recoverData); zero
+	// disables the preamble.
+	PreambleSymbols int
+
+	// ResyncGuardSlots extends each receiver's listening window by this
+	// many slots beyond the wire stream, giving the preamble search room
+	// to find a late-locking receiver. Requires PreambleSymbols > 0.
+	ResyncGuardSlots int
+
 	// Seed drives the per-program jitter streams.
 	Seed int64
 }
@@ -198,6 +220,37 @@ func (p Params) withDefaults() (Params, error) {
 		if p.Thresholds[i] <= p.Thresholds[i-1] {
 			return p, fmt.Errorf("core: thresholds not increasing: %v", p.Thresholds)
 		}
+	}
+	switch p.Coding {
+	case CodingNone:
+		if p.Repeat != 0 {
+			return p, fmt.Errorf("core: Repeat %d set without CodingRepetition", p.Repeat)
+		}
+	case CodingRepetition:
+		if p.Repeat == 0 {
+			p.Repeat = 3
+		}
+		if p.Repeat < 1 || p.Repeat%2 == 0 {
+			return p, fmt.Errorf("core: repetition factor %d must be odd and positive", p.Repeat)
+		}
+	case CodingHamming74:
+		if p.Repeat != 0 {
+			return p, fmt.Errorf("core: Repeat %d set with Hamming coding", p.Repeat)
+		}
+		if p.BitsPerSymbol != 1 {
+			return p, fmt.Errorf("core: Hamming(7,4) codes bits; BitsPerSymbol must be 1, got %d", p.BitsPerSymbol)
+		}
+	default:
+		return p, fmt.Errorf("core: unknown coding %d", int(p.Coding))
+	}
+	if p.PreambleSymbols < 0 {
+		return p, fmt.Errorf("core: negative preamble length %d", p.PreambleSymbols)
+	}
+	if p.ResyncGuardSlots < 0 {
+		return p, fmt.Errorf("core: negative guard slots %d", p.ResyncGuardSlots)
+	}
+	if p.ResyncGuardSlots > 0 && p.PreambleSymbols == 0 {
+		return p, fmt.Errorf("core: ResyncGuardSlots needs a preamble to align against")
 	}
 	if p.Seed == 0 {
 		p.Seed = 1

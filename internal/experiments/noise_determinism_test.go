@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/core"
+	"gpunoc/internal/noise"
+)
+
+// The noise generators run inside the single-goroutine tick model, so a
+// noisy experiment must be exactly as deterministic as a quiet one. These
+// are the regression tests for that property.
+
+// TestNoiseExperimentsDeterministicAcrossParallelism runs the two noisy
+// registry experiments with 1 worker and with 8 and requires byte-identical
+// reports: background traffic must not introduce any schedule-dependent
+// state.
+func TestNoiseExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full noisy transmissions")
+	}
+	cfg := smallCfg()
+	ids := []string{"noise-sweep", "coded-vs-uncoded"}
+	opts := Options{Scale: Quick, Seed: 5}
+
+	seq := Runner{Parallel: 1, Options: opts}
+	r1, err := seq.Run(&cfg, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range r1 {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Experiment.ID, res.Err)
+		}
+	}
+	par := Runner{Parallel: 8, Options: opts}
+	r8, err := par.Run(&cfg, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1, rep8 := Report(r1), Report(r8); rep1 != rep8 {
+		t.Fatalf("noisy reports differ between -parallel 1 and -parallel 8:\n%s",
+			firstDiff(rep1, rep8))
+	}
+}
+
+// TestNoiseSweepSameSeedRunsIdentical reruns the sweep with the same seed
+// and requires identical figures, down to every error rate and bit rate.
+func TestNoiseSweepSameSeedRunsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full noisy transmissions")
+	}
+	cfg := smallCfg()
+	opt := Options{Scale: Quick, Seed: 11}
+	f1, err := NoiseSweep(&cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NoiseSweep(&cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("same-seed sweeps differ:\n%s\nvs\n%s", f1.Render(), f2.Render())
+	}
+}
+
+// TestZeroIntensityNoiseIsBitIdenticalToNoNoise requires that a
+// zero-intensity noise spec perturbs nothing at all: the transmission result
+// — including every per-slot latency and clock value in the trace — must be
+// bit-identical to a run with no noise kernels. This is why silent specs
+// produce no kernel: even an immediately-exiting warp would consume an RNG
+// draw and an issue slot and shift the whole schedule.
+func TestZeroIntensityNoiseIsBitIdenticalToNoNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full transmissions")
+	}
+	cfg := config.Small()
+	p, err := calibratedParams(&cfg, core.TPCChannel, 4, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := core.AlternatingPayload(24, 2)
+	quiet, err := noisySend(&cfg, payload, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent, err := noisySend(&cfg, payload, p, noise.Spec{
+		Kind:           noise.Stream,
+		SMs:            channelGPCSMs(&cfg),
+		Intensity:      0,
+		DurationCycles: 1 << 20,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(quiet, silent) {
+		t.Fatalf("zero-intensity noise changed the transmission:\nquiet:  %+v\nsilent: %+v",
+			quiet, silent)
+	}
+}

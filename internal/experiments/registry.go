@@ -44,6 +44,10 @@ type Experiment struct {
 	// Metrics, if non-nil, extracts the artifact's headline numbers for
 	// benchmark reporting (metric name -> value).
 	Metrics func(f *Figure) map[string]float64
+	// FixedScale is true when Run ignores Options.Scale (the artifact has
+	// one natural size, e.g. a configuration table). The default false
+	// means the experiment honors `ccbench -scale`.
+	FixedScale bool
 }
 
 // Registry holds a set of experiments keyed by ID. The zero value is not

@@ -13,8 +13,9 @@ import (
 func init() {
 	MustRegister(Experiment{
 		ID: "table1", Order: 10,
-		Title:   "Simulation configuration parameters, read back from the live config",
-		Section: "Table 1",
+		Title:      "Simulation configuration parameters, read back from the live config",
+		Section:    "Table 1",
+		FixedScale: true,
 		Run: func(cfg *config.Config, _ Options) (*Figure, error) {
 			return Table1(cfg), nil
 		},

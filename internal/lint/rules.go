@@ -135,6 +135,7 @@ func engineAndBelow() []string {
 		"internal/link",
 		"internal/mem",
 		"internal/noc",
+		"internal/noise",
 		"internal/packet",
 		"internal/probe",
 		"internal/ring",
@@ -162,8 +163,10 @@ func DefaultRules() *Rules {
 				"": {
 					"internal/config",
 					"internal/core",
+					"internal/device",
 					"internal/engine",
 					"internal/experiments",
+					"internal/noise",
 					"internal/reveng",
 				},
 
@@ -203,6 +206,14 @@ func DefaultRules() *Rules {
 					"internal/ring", "internal/warp",
 				},
 
+				// Background-traffic generators: programs stepped inside the
+				// tick loop, so the package sits beside device/warp — it
+				// builds KernelSpecs and never reaches up to the engine.
+				"internal/noise": {
+					"internal/config", "internal/device", "internal/probe",
+					"internal/warp",
+				},
+
 				// The cycle-driven top level.
 				"internal/engine": {
 					"internal/clockreg", "internal/config", "internal/device",
@@ -224,8 +235,9 @@ func DefaultRules() *Rules {
 				// roots) may import it back.
 				"internal/experiments": {
 					"internal/baseline", "internal/config", "internal/core",
-					"internal/device", "internal/engine", "internal/probe",
-					"internal/reveng", "internal/stats", "internal/warp",
+					"internal/device", "internal/engine", "internal/noise",
+					"internal/probe", "internal/reveng", "internal/stats",
+					"internal/warp",
 				},
 
 				// Tooling: stdlib only, outside the simulator entirely.

@@ -1,0 +1,88 @@
+package noise
+
+import (
+	"math/rand"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/device"
+	"gpunoc/internal/probe"
+	"gpunoc/internal/warp"
+)
+
+// generator is one noise warp: a resumable state machine stepped by the SM
+// like any other program. It discovers at runtime whether it landed on a
+// victim SM (the %smid check every co-locating kernel in this codebase
+// uses), then alternates uncoalesced memory operations with kind-dependent
+// gaps until its duration expires.
+type generator struct {
+	spec   *Spec
+	cfg    *config.Config
+	active func(smid int) bool
+	warpID int
+	rng    *rand.Rand
+	ops    *probe.Counter // issued operations (nil when uninstrumented)
+	warps  *probe.Counter // warps that found a victim SM
+
+	started    bool
+	start      uint64
+	base       uint64
+	opIdx      int
+	gapPending bool
+}
+
+// Step implements device.Program.
+func (g *generator) Step(ctx *device.Ctx) device.Op {
+	if !g.started {
+		g.started = true
+		if !g.active(ctx.SMID) {
+			return device.Done()
+		}
+		g.start = ctx.Clock64
+		g.base = g.spec.Base + uint64(ctx.SMID*g.cfg.MaxWarpsPerSM+g.warpID)*g.spec.WindowBytes
+		g.warps.Inc()
+		if g.spec.Kind == Random {
+			// Dephase the victim warps so random interference does not
+			// arrive in lockstep across SMs.
+			if d := g.rng.Int63n(int64(g.spec.PeriodCycles)); d > 0 {
+				return device.Wait(uint64(d))
+			}
+		}
+	}
+	elapsed := ctx.Clock64 - g.start
+	if elapsed >= g.spec.DurationCycles {
+		return device.Done()
+	}
+	if g.spec.Kind == Burst {
+		pos := elapsed % g.spec.PeriodCycles
+		on := uint64(g.spec.Intensity * float64(g.spec.PeriodCycles))
+		if pos >= on {
+			// Off phase: sleep to the next period boundary.
+			return device.Wait(g.spec.PeriodCycles - pos)
+		}
+	}
+	if g.gapPending {
+		g.gapPending = false
+		if gap := g.gap(); gap > 0 {
+			return device.Wait(gap)
+		}
+	}
+	g.gapPending = true
+	g.opIdx++
+	g.ops.Inc()
+	footprint := uint64(g.cfg.SIMTWidth * g.cfg.L2LineBytes)
+	off := uint64(g.opIdx) * footprint % g.spec.WindowBytes
+	return device.Mem(warp.UncoalescedOp(g.base+off, g.spec.Write, g.cfg.L2LineBytes))
+}
+
+// gap returns the cycles to wait after the operation just issued.
+func (g *generator) gap() uint64 {
+	switch g.spec.Kind {
+	case Random:
+		mean := gapCycles(g.cfg, g.spec.Intensity)
+		return uint64(g.rng.Int63n(int64(2*mean) + 1))
+	case Burst:
+		return 0 // full rate inside the on phase; the duty cycle is the knob
+	default:
+		return gapCycles(g.cfg, g.spec.Intensity)
+	}
+}

@@ -1,0 +1,223 @@
+// Package noise generates deterministic background traffic: co-runner
+// kernels that contend with a covert transmission on the shared NoC the way
+// a real co-located application would (§7 frames such noise as the
+// channel's practical limit). Generators are ordinary kernels — a
+// device.KernelSpec whose warps issue memory operations through the same
+// LSU, TPC mux, and GPC channel as any other program — so they compose with
+// every experiment, obey the thread-block scheduler's placement, and stay
+// inside the single-goroutine tick model.
+//
+// Three generator kinds cover the co-runner shapes related work evaluates
+// against (MC3's co-runner memory contention, NVBleed's background-traffic
+// sweeps): Stream is a steady memory-bandwidth co-runner, Burst switches
+// between full-rate and silent phases, and Random draws seeded random gaps
+// so interference arrives at unpredictable times. Intensity scales all
+// three between silent (0) and a full-rate streamer (1).
+//
+// A Spec with no traffic to offer (Intensity <= 0) produces no kernel at
+// all: Kernels skips it. This is what makes zero-intensity noise exactly —
+// not just statistically — identical to running without noise: even an
+// immediately-exiting warp would occupy a warp-scheduler slot for a cycle,
+// and the simulator's bit-for-bit determinism regressions would see it.
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/device"
+)
+
+// Kind selects the generator's temporal pattern.
+type Kind int
+
+const (
+	// Stream issues operations at a steady rate: a memory-bandwidth
+	// co-runner. Intensity sets the duty cycle via a fixed inter-op gap.
+	Stream Kind = iota
+	// Burst alternates full-rate and silent phases of one PeriodCycles
+	// square wave; Intensity is the on fraction. Models phase-structured
+	// co-runners (iterative kernels, frame renderers).
+	Burst
+	// Random draws each inter-op gap from a seeded uniform distribution
+	// with the same mean as Stream's fixed gap, so interference hits the
+	// channel at unpredictable instants while offering the same load.
+	Random
+)
+
+// String names the generator kind.
+func (k Kind) String() string {
+	switch k {
+	case Stream:
+		return "stream"
+	case Burst:
+		return "burst"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DefaultBase is the default base address of the generators' working
+// windows: far above the covert channel's probe windows and the contention
+// experiments' buffers, so noise traffic contends on links and queues, never
+// on the channel's own cache lines.
+const DefaultBase = uint64(1) << 30
+
+// Spec describes one background-traffic generator kernel.
+type Spec struct {
+	// Kind selects the temporal pattern (Stream, Burst, Random).
+	Kind Kind
+
+	// SMs lists the victim SMs the generator runs on. The kernel launches
+	// one block per SM of the whole device and non-victims exit
+	// immediately, so placement is exact regardless of scheduler state.
+	// Empty means every SM.
+	SMs []int
+
+	// Warps is the number of generator warps per victim SM (default 4 —
+	// enough to keep the LSU pipeline full at Intensity 1).
+	Warps int
+
+	// Intensity in [0,1] is the offered load as a fraction of a full-rate
+	// uncoalesced streamer: 1 issues back-to-back, 0.5 spends half the
+	// time waiting, 0 offers nothing (and produces no kernel at all).
+	Intensity float64
+
+	// DurationCycles bounds the generator's lifetime, measured from each
+	// warp's first step; the warp exits once its local clock passes the
+	// bound. Required: the engine's RunKernels waits for every kernel, so
+	// an unbounded generator would never let a run finish.
+	DurationCycles uint64
+
+	// PeriodCycles is Burst's square-wave period (default 4096).
+	PeriodCycles uint64
+
+	// Seed drives Random's gap stream and the per-warp phase offsets
+	// (default 1). Generators derive per-warp RNGs from it, so one Spec
+	// yields the same traffic on every run.
+	Seed int64
+
+	// Write selects write traffic; default is reads (the §5 streaming
+	// co-runner shape).
+	Write bool
+
+	// WindowBytes is each warp's private working window (default 4096:
+	// L2-resident, so the generator's rate is LSU/NoC-bound like the
+	// channel's own traffic, not DRAM-bound).
+	WindowBytes uint64
+
+	// Base is the first window's base address (default DefaultBase).
+	Base uint64
+}
+
+// withDefaults validates the spec and fills derived fields. It returns a
+// copy.
+func (s Spec) withDefaults(cfg *config.Config) (Spec, error) {
+	if s.Intensity < 0 || s.Intensity > 1 {
+		return s, fmt.Errorf("noise: intensity %.3f outside [0,1]", s.Intensity)
+	}
+	if s.DurationCycles == 0 {
+		return s, fmt.Errorf("noise: DurationCycles must be set (RunKernels waits for the generator)")
+	}
+	if s.Warps == 0 {
+		s.Warps = 4
+	}
+	if s.Warps < 0 || s.Warps > cfg.MaxWarpsPerSM {
+		return s, fmt.Errorf("noise: %d warps per SM outside [1,%d]", s.Warps, cfg.MaxWarpsPerSM)
+	}
+	if s.PeriodCycles == 0 {
+		s.PeriodCycles = 4096
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.WindowBytes == 0 {
+		s.WindowBytes = 4096
+	}
+	if s.Base == 0 {
+		s.Base = DefaultBase
+	}
+	for _, sm := range s.SMs {
+		if sm < 0 || sm >= cfg.NumSMs() {
+			return s, fmt.Errorf("noise: victim SM %d out of range [0,%d)", sm, cfg.NumSMs())
+		}
+	}
+	return s, nil
+}
+
+// Silent reports whether the spec offers no traffic at all. Silent specs
+// produce no kernel: see the package comment for why launching nothing is
+// the only way to keep a zero-intensity run bit-identical to a noise-free
+// one.
+func (s Spec) Silent() bool { return s.Intensity <= 0 }
+
+// gapCycles is the Stream inter-op gap realizing Intensity: a full-rate
+// warp spends about opDrain cycles injecting one uncoalesced operation's
+// packets, so a gap of opDrain*(1-I)/I makes the duty cycle I.
+func gapCycles(cfg *config.Config, intensity float64) uint64 {
+	opDrain := float64(cfg.SIMTWidth * cfg.NoC.LSUInjectPeriod)
+	if intensity >= 1 {
+		return 0
+	}
+	return uint64(opDrain * (1 - intensity) / intensity)
+}
+
+// Kernels builds the generator kernels for every spec that offers traffic,
+// in order; silent specs are skipped. Experiments launch the returned specs
+// after the transmission's own kernels, mirroring the §5 third-kernel
+// co-schedule.
+func Kernels(cfg *config.Config, specs ...Spec) ([]device.KernelSpec, error) {
+	var out []device.KernelSpec
+	for i, s := range specs {
+		k, ok, err := Kernel(cfg, s)
+		if err != nil {
+			return nil, fmt.Errorf("noise: spec %d: %w", i, err)
+		}
+		if ok {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Kernel builds one generator kernel. ok is false when the spec is silent
+// (no kernel to launch). The kernel is probe-instrumented when cfg.Probes
+// is set: "noise/<kind>/ops" counts issued operations and
+// "noise/<kind>/active_warps" counts warps that found their victim SM, so
+// noise intensity is measurable alongside the link probes' mux occupancy.
+func Kernel(cfg *config.Config, s Spec) (device.KernelSpec, bool, error) {
+	s, err := s.withDefaults(cfg)
+	if err != nil {
+		return device.KernelSpec{}, false, err
+	}
+	if s.Silent() {
+		return device.KernelSpec{}, false, nil
+	}
+	victim := make(map[int]bool, len(s.SMs))
+	for _, sm := range s.SMs {
+		victim[sm] = true
+	}
+	all := len(s.SMs) == 0
+	ops := cfg.Probes.Counter("noise/" + s.Kind.String() + "/ops")
+	activeWarps := cfg.Probes.Counter("noise/" + s.Kind.String() + "/active_warps")
+	spec := s // private copy shared by the programs
+	return device.KernelSpec{
+		Name:          "noise-" + s.Kind.String(),
+		Blocks:        cfg.NumSMs(),
+		WarpsPerBlock: s.Warps,
+		New: func(b, w int) device.Program {
+			return &generator{
+				spec:   &spec,
+				cfg:    cfg,
+				active: func(smid int) bool { return all || victim[smid] },
+				warpID: w,
+				rng:    rand.New(rand.NewSource(spec.Seed ^ int64(b*64+w+1)*48271)),
+				ops:    ops,
+				warps:  activeWarps,
+			}
+		},
+	}, true, nil
+}

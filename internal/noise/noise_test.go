@@ -1,0 +1,214 @@
+package noise
+
+import (
+	"reflect"
+	"testing"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/device"
+)
+
+func cfg(t *testing.T) *config.Config {
+	t.Helper()
+	c := config.Small()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("small config invalid: %v", err)
+	}
+	return &c
+}
+
+func TestSpecValidation(t *testing.T) {
+	c := cfg(t)
+	cases := []struct {
+		name string
+		s    Spec
+		ok   bool
+	}{
+		{"minimal", Spec{Intensity: 0.5, DurationCycles: 1000}, true},
+		{"no duration", Spec{Intensity: 0.5}, false},
+		{"negative intensity", Spec{Intensity: -0.1, DurationCycles: 1000}, false},
+		{"intensity above one", Spec{Intensity: 1.5, DurationCycles: 1000}, false},
+		{"too many warps", Spec{Intensity: 0.5, DurationCycles: 1000, Warps: c.MaxWarpsPerSM + 1}, false},
+		{"bad victim SM", Spec{Intensity: 0.5, DurationCycles: 1000, SMs: []int{c.NumSMs()}}, false},
+		{"victim SMs", Spec{Intensity: 0.5, DurationCycles: 1000, SMs: []int{0, c.NumSMs() - 1}}, true},
+	}
+	for _, tc := range cases {
+		_, err := tc.s.withDefaults(c)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := cfg(t)
+	s, err := Spec{Intensity: 0.5, DurationCycles: 1000}.withDefaults(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Warps != 4 || s.PeriodCycles != 4096 || s.Seed != 1 || s.WindowBytes != 4096 || s.Base != DefaultBase {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+}
+
+func TestSilentSpecProducesNoKernel(t *testing.T) {
+	c := cfg(t)
+	_, ok, err := Kernel(c, Spec{Intensity: 0, DurationCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("zero-intensity spec produced a kernel; it must produce none for bit-identity")
+	}
+	ks, err := Kernels(c,
+		Spec{Intensity: 0, DurationCycles: 1000},
+		Spec{Intensity: 0.5, DurationCycles: 1000},
+		Spec{Kind: Burst, Intensity: 0, DurationCycles: 1000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 {
+		t.Fatalf("Kernels kept %d kernels, want 1 (silent specs skipped)", len(ks))
+	}
+	if ks[0].Name != "noise-stream" || ks[0].Blocks != c.NumSMs() {
+		t.Errorf("kernel shape: name=%q blocks=%d, want noise-stream with one block per SM", ks[0].Name, ks[0].Blocks)
+	}
+}
+
+func TestGapCycles(t *testing.T) {
+	c := cfg(t)
+	if g := gapCycles(c, 1); g != 0 {
+		t.Errorf("full intensity gap = %d, want 0", g)
+	}
+	drain := uint64(c.SIMTWidth * c.NoC.LSUInjectPeriod)
+	if g := gapCycles(c, 0.5); g != drain {
+		t.Errorf("half intensity gap = %d, want opDrain %d", g, drain)
+	}
+	// Lower intensity must never shrink the gap.
+	prev := uint64(0)
+	for _, in := range []float64{0.9, 0.5, 0.25, 0.1, 0.05} {
+		g := gapCycles(c, in)
+		if g < prev {
+			t.Errorf("gap not monotone: intensity %.2f gap %d < previous %d", in, g, prev)
+		}
+		prev = g
+	}
+}
+
+// drive steps a fresh program on the given SM and returns the op sequence up
+// to limit steps, advancing a fake clock by each wait.
+func drive(p device.Program, smid int, limit int) []device.Op {
+	ctx := &device.Ctx{SMID: smid}
+	var ops []device.Op
+	for i := 0; i < limit; i++ {
+		op := p.Step(ctx)
+		ops = append(ops, op)
+		switch op.Kind {
+		case device.OpDone:
+			return ops
+		case device.OpWait:
+			ctx.Clock64 += op.Cycles
+		case device.OpMem:
+			ctx.Clock64 += 1 // issue cost; latency modeled elsewhere
+		}
+	}
+	return ops
+}
+
+func TestNonVictimExitsImmediately(t *testing.T) {
+	c := cfg(t)
+	k, ok, err := Kernel(c, Spec{Intensity: 1, DurationCycles: 1000, SMs: []int{0}})
+	if err != nil || !ok {
+		t.Fatalf("Kernel: ok=%v err=%v", ok, err)
+	}
+	ops := drive(k.New(1, 0), 1, 4)
+	if len(ops) != 1 || ops[0].Kind != device.OpDone {
+		t.Errorf("non-victim warp ran %d ops, want immediate Done", len(ops))
+	}
+}
+
+func TestGeneratorRespectsDuration(t *testing.T) {
+	c := cfg(t)
+	for _, kind := range []Kind{Stream, Burst, Random} {
+		k, ok, err := Kernel(c, Spec{Kind: kind, Intensity: 0.5, DurationCycles: 5000})
+		if err != nil || !ok {
+			t.Fatalf("%v: ok=%v err=%v", kind, ok, err)
+		}
+		ops := drive(k.New(0, 0), 0, 100000)
+		last := ops[len(ops)-1]
+		if last.Kind != device.OpDone {
+			t.Errorf("%v: generator never finished within step budget", kind)
+		}
+		mems := 0
+		for _, op := range ops {
+			if op.Kind == device.OpMem {
+				mems++
+			}
+		}
+		if mems == 0 {
+			t.Errorf("%v: generator issued no memory operations", kind)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	c := cfg(t)
+	for _, kind := range []Kind{Stream, Burst, Random} {
+		s := Spec{Kind: kind, Intensity: 0.3, DurationCycles: 20000, Seed: 7}
+		k1, _, err := Kernel(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, _, err := Kernel(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := drive(k1.New(0, 1), 0, 100000)
+		b := drive(k2.New(0, 1), 0, 100000)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same spec, same warp produced different op streams", kind)
+		}
+	}
+}
+
+func TestIntensityOrdersOfferedLoad(t *testing.T) {
+	c := cfg(t)
+	memCount := func(intensity float64) int {
+		k, _, err := Kernel(c, Spec{Intensity: intensity, DurationCycles: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, op := range drive(k.New(0, 0), 0, 200000) {
+			if op.Kind == device.OpMem {
+				n++
+			}
+		}
+		return n
+	}
+	lo, mid, hi := memCount(0.1), memCount(0.5), memCount(1.0)
+	if !(lo < mid && mid < hi) {
+		t.Errorf("offered load not ordered by intensity: %d (0.1) %d (0.5) %d (1.0)", lo, mid, hi)
+	}
+}
+
+func TestBurstHasSilentPhases(t *testing.T) {
+	c := cfg(t)
+	k, _, err := Kernel(c, Spec{Kind: Burst, Intensity: 0.25, DurationCycles: 40000, PeriodCycles: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	longWaits := 0
+	for _, op := range drive(k.New(0, 0), 0, 200000) {
+		if op.Kind == device.OpWait && op.Cycles > 1024 {
+			longWaits++
+		}
+	}
+	if longWaits < 5 {
+		t.Errorf("burst generator produced %d off-phase sleeps, want several", longWaits)
+	}
+}
