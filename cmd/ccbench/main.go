@@ -10,13 +10,21 @@
 // Usage:
 //
 //	ccbench [-config volta|small] [-scale quick|full] [-seed N]
-//	        [-only fig10,table2,...] [-parallel N] [-check] [-csv DIR]
-//	        [-metrics DIR]
+//	        [-only fig10,table2,...] [-parallel N] [-engine-workers N]
+//	        [-check] [-csv DIR] [-metrics DIR]
 //	ccbench -list
 //
 // The default suite seed is 5, matching every command line and number in
 // docs/EXPERIMENTS.md, so a bare `ccbench` reproduces the documented
 // outputs.
+//
+// -engine-workers selects the engine's sharded parallel tick loop (see
+// docs/ARCHITECTURE.md, "Parallel engine"). The default of 0 resolves to 1
+// here — the experiment pool already saturates the machine, so nesting
+// engine workers under it would only oversubscribe — while an explicit
+// count is passed through to every experiment's engines. The engine is
+// state-identical at every worker count, so the report does not change
+// either way; CI diffs the two to prove it.
 //
 // -metrics DIR attaches a probe registry to every experiment and writes one
 // <id>.metrics.json and <id>.metrics.csv per experiment into DIR. The files
@@ -49,6 +57,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into (created if missing)")
 	metricsDir := flag.String("metrics", "", "directory to write per-experiment probe metrics (JSON+CSV) into (created if missing)")
 	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
+	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers per simulated GPU (0 = sequential: the experiment pool already fills the machine)")
 	check := flag.Bool("check", false, "also assert each experiment's paper-shape Check")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
@@ -73,6 +82,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ccbench: unknown config %q\n", *cfgName)
 		os.Exit(2)
+	}
+
+	// Worker-count selection never affects results (the sharded engine is
+	// state-identical at every count), so this is purely a scheduling
+	// choice: explicit counts pass through, automatic stays sequential
+	// because the experiment pool is the outer source of parallelism.
+	if *engineWorkers > 0 {
+		cfg.EngineWorkers = *engineWorkers
+	} else {
+		cfg.EngineWorkers = 1
 	}
 
 	opt := experiments.Options{Seed: *seed}

@@ -6,13 +6,19 @@
 // Usage:
 //
 //	gpusim [-config volta|small] [-arb rr|crr|srr|age] [-sms 0,1] \
-//	       [-ops 20] [-warps 4] [-read] [-seed N] [-trace out.json]
+//	       [-ops 20] [-warps 4] [-read] [-seed N] [-engine-workers N] \
+//	       [-trace out.json]
 //
 // -trace writes a Chrome trace-event JSON file of the run: one track per
 // instrumented NoC link (spans are packets occupying the channel, from
 // enqueue to delivery) plus a "kernels" track with one span per kernel.
 // Open it at https://ui.perfetto.dev or chrome://tracing; timestamps are
 // simulated cycles, not microseconds.
+//
+// -engine-workers selects the engine's sharded parallel tick loop (0, the
+// default, is GOMAXPROCS-aware; results are identical at every setting).
+// Tracing implies probe instrumentation, so -trace runs always use the
+// sequential engine regardless of this flag.
 package main
 
 import (
@@ -41,6 +47,7 @@ func main() {
 	warps := flag.Int("warps", 4, "warps per activated SM")
 	read := flag.Bool("read", false, "issue reads instead of writes")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers (0 = GOMAXPROCS-aware; ignored with -trace)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible) to this path")
 	flag.Parse()
 
@@ -54,6 +61,7 @@ func main() {
 		fail(fmt.Errorf("unknown config %q", *cfgName))
 	}
 	cfg.Seed = *seed
+	cfg.EngineWorkers = *engineWorkers
 	switch *arbName {
 	case "rr":
 		cfg.NoC.Arbitration = config.ArbRR

@@ -7,8 +7,8 @@
 //
 //	cfg := gpunoc.VoltaConfig()                     // Table 1 GPU model
 //	params, _ := gpunoc.Calibrate(&cfg, gpunoc.ChannelParams{Kind: gpunoc.TPCChannel})
-//	res, _ := gpunoc.SendBytes(&cfg, []byte("secret"), params)
-//	fmt.Println(res.BitsPerSecond, res.ErrorRate)
+//	res, recovered, _ := gpunoc.SendBytes(&cfg, []byte("secret"), params)
+//	fmt.Println(res.BitsPerSecond, res.ErrorRate, string(recovered))
 //
 // Lower layers are exposed for experimentation: engine.GPU runs arbitrary
 // device programs, reveng reverse-engineers the topology from timing alone,

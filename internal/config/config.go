@@ -171,6 +171,19 @@ type Config struct {
 	// and is ignored by Validate.
 	ExhaustiveTick bool
 
+	// EngineWorkers selects how many workers the engine's sharded parallel
+	// tick loop may use. 0 (the default) is GOMAXPROCS-aware automatic
+	// selection; 1 forces the classic single-goroutine tick loop; higher
+	// values are capped at the topology's shard count (max of NumGPCs and
+	// NumMCs). Whatever the setting, the engine clamps to 1 when
+	// ExhaustiveTick is set (the reference mode is the single-goroutine
+	// loop by definition) or when Probes is non-nil (probe instruments are
+	// deliberately lock-free and shared across components). The sharded
+	// engine is state-identical to the sequential one at every worker
+	// count — see docs/DETERMINISM.md — so like Meter and Probes this knob
+	// never influences simulation results and is ignored by Validate.
+	EngineWorkers int
+
 	// Meter, when non-nil, accumulates the number of simulated cycles
 	// executed by every engine instance built from this configuration
 	// (copies of the Config share the pointer). The experiment runner

@@ -70,6 +70,13 @@ type GPU struct {
 	smSet   *sched.ActiveSet
 	running int
 
+	// Sharded parallel tick loop (see parallel.go). par is nil — and
+	// workers is 1 — when the engine runs the classic single-goroutine
+	// loop: in exhaustive mode, under probes, or when the resolved worker
+	// count is 1. The worker count never influences simulation state.
+	par     *parEngine
+	workers int
+
 	// trace is cached from the registry so updateKernels can emit one span
 	// per completed kernel; nil when tracing is disabled.
 	trace       *probe.Trace
@@ -117,6 +124,13 @@ func New(cfg config.Config) (*GPU, error) {
 		for i, s := range g.sms {
 			s.SetWaker(func() { g.smSet.Wake(i) })
 		}
+	}
+	g.workers = resolveWorkers(&g.cfg)
+	if g.workers > 1 {
+		// Sharded mode replaces the global active sets (including smSet's
+		// wakers, rewired per GPC) with per-shard ones; see parallel.go.
+		g.smSet = nil
+		g.par = newParEngine(g, g.workers)
 	}
 	if g.cfg.Probes != nil {
 		if tr := g.cfg.Probes.Tracer(); tr != nil {
@@ -211,6 +225,12 @@ func (g *GPU) LaunchAt(at uint64, spec device.KernelSpec) (*Kernel, error) {
 // matching the exhaustive loop); an SM whose warps are all stalled on memory
 // parks itself until a reply or a new warp wakes it.
 func (g *GPU) step() {
+	if g.par != nil {
+		g.par.step()
+		g.updateKernels()
+		g.now++
+		return
+	}
 	if g.smSet == nil {
 		for _, s := range g.sms {
 			s.Tick(g.now)
@@ -242,6 +262,10 @@ func (g *GPU) step() {
 // no future cycle can do work until the next Launch, so cycles may be
 // skipped wholesale. Always false in exhaustive mode.
 func (g *GPU) quiet() bool {
+	if g.par != nil {
+		return g.running == 0 && g.par.smsQuiet() &&
+			g.net.Quiet() && g.part.Quiet()
+	}
 	return g.smSet != nil && g.running == 0 && g.smSet.Empty() &&
 		g.net.Quiet() && g.part.Quiet()
 }

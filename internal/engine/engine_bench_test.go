@@ -7,37 +7,68 @@ import (
 )
 
 // BenchmarkEngineTick measures the per-cycle cost of the engine on the full
-// Volta topology (80 SMs, 48 slices) in the two regimes the activity
-// scheduler targets: a completely idle device, and a sparse workload keeping
-// 2 of 80 SMs busy. Exhaustive ticking pays the full component walk in both;
-// the activity scheduler fast-forwards the former and ticks only the live
-// path in the latter.
+// Volta topology (80 SMs, 48 slices) in the regimes the two schedulers
+// target. The activity scheduler owns the sparse end: a completely idle
+// device (fast-forwarded in O(1)) and a workload keeping 2 of 80 SMs busy.
+// The sharded parallel engine owns the dense end: all 80 SMs streaming at
+// once, measured sequentially and at 8 workers. The parallel number only
+// moves on a multi-core host — on a single-core machine the worker pool
+// degenerates to the coordinator draining its own queue, which is why the
+// 8-worker baseline entry is not gated (see BENCH_tick.json).
 func BenchmarkEngineTick(b *testing.B) {
-	mk := func(b *testing.B) *GPU {
+	mk := func(b *testing.B, workers int) *GPU {
 		cfg := config.Volta()
 		cfg.WarpIssueJitter = 0
 		cfg.L2ServiceJitter = 0
+		cfg.EngineWorkers = workers
 		g, err := New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.Cleanup(g.Close)
 		return g
+	}
+	saturate := func(b *testing.B, g *GPU) {
+		n := g.Config().NumSMs()
+		preloadStreamers(g, n)
+		spec, _ := streamerKernel("bench", n, 1, 1<<30, true, false, g.Config().L2LineBytes)
+		if _, err := g.Launch(spec); err != nil {
+			b.Fatal(err)
+		}
+		g.RunFor(10_000) // past dispatch jitter and into steady state
 	}
 
 	b.Run("idle", func(b *testing.B) {
-		g := mk(b)
+		g := mk(b, 1)
 		b.ResetTimer()
 		g.RunFor(uint64(b.N))
 	})
 
 	b.Run("sparse-2sm", func(b *testing.B) {
-		g := mk(b)
+		g := mk(b, 1)
 		preloadStreamers(g, 2)
 		spec, _ := streamerKernel("bench", 2, 1, 1<<30, true, false, g.Config().L2LineBytes)
 		if _, err := g.Launch(spec); err != nil {
 			b.Fatal(err)
 		}
 		g.RunFor(10_000) // past dispatch jitter and into steady state
+		b.ResetTimer()
+		g.RunFor(uint64(b.N))
+	})
+
+	b.Run("saturated", func(b *testing.B) {
+		g := mk(b, 1)
+		saturate(b, g)
+		b.ResetTimer()
+		g.RunFor(uint64(b.N))
+	})
+
+	b.Run("saturated-workers8", func(b *testing.B) {
+		g := mk(b, 8)
+		if g.Workers() < 2 {
+			b.Fatalf("parallel engine did not engage (workers=%d)", g.Workers())
+		}
+		saturate(b, g)
 		b.ResetTimer()
 		g.RunFor(uint64(b.N))
 	})

@@ -1,0 +1,135 @@
+package engine
+
+// Tests for the sharded parallel tick loop: worker-count resolution, pool
+// lifecycle, and the saturated all-to-all workload the -race CI leg runs to
+// hammer the phase barrier under maximum cross-shard traffic.
+
+import (
+	"reflect"
+	"testing"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/link"
+	"gpunoc/internal/probe"
+	"gpunoc/internal/sm"
+)
+
+// TestWorkerResolution pins the Config.EngineWorkers contract: automatic
+// selection is GOMAXPROCS-aware, explicit counts are capped at the shard
+// count, and exhaustive or instrumented configurations always run the
+// sequential loop.
+func TestWorkerResolution(t *testing.T) {
+	mk := func(mut func(*config.Config)) *GPU {
+		cfg := testCfg()
+		mut(&cfg)
+		g := mkGPU(t, cfg)
+		t.Cleanup(g.Close)
+		return g
+	}
+	// Small topology: 2 GPCs, 4 MCs, so the shard cap is 4.
+	if got := mk(func(c *config.Config) { c.EngineWorkers = 8 }).Workers(); got != 4 {
+		t.Errorf("EngineWorkers=8 on small resolved to %d, want shard cap 4", got)
+	}
+	if got := mk(func(c *config.Config) { c.EngineWorkers = 3 }).Workers(); got != 3 {
+		t.Errorf("EngineWorkers=3 resolved to %d", got)
+	}
+	if got := mk(func(c *config.Config) { c.EngineWorkers = 1 }).Workers(); got != 1 {
+		t.Errorf("EngineWorkers=1 resolved to %d", got)
+	}
+	if got := mk(func(c *config.Config) { c.EngineWorkers = 0 }).Workers(); got < 1 || got > 4 {
+		t.Errorf("automatic selection resolved to %d, want within [1, 4]", got)
+	}
+	if got := mk(func(c *config.Config) {
+		c.EngineWorkers = 4
+		c.ExhaustiveTick = true
+	}).Workers(); got != 1 {
+		t.Errorf("exhaustive mode resolved to %d workers, want 1", got)
+	}
+	if got := mk(func(c *config.Config) {
+		c.EngineWorkers = 4
+		c.Probes = probe.NewRegistry()
+	}).Workers(); got != 1 {
+		t.Errorf("instrumented config resolved to %d workers, want 1", got)
+	}
+}
+
+// TestCloseIdempotent: Close may be called repeatedly, on parallel and
+// sequential engines alike, and a closed parallel engine still steps
+// correctly (the coordinator drains the whole phase itself).
+func TestCloseIdempotent(t *testing.T) {
+	cfg := testCfg()
+	cfg.EngineWorkers = 4
+	g := mkGPU(t, cfg)
+	preloadStreamers(g, 1)
+	spec, _ := streamerKernel("c", 1, 1, 5, true, true, cfg.L2LineBytes)
+	if _, err := g.Launch(spec); err != nil {
+		t.Fatal(err)
+	}
+	g.RunFor(100)
+	g.Close()
+	g.Close()
+
+	seq := mkGPU(t, testCfg())
+	seq.Close()
+	seq.Close()
+}
+
+// TestParallelEngineSaturatedAllToAll is the stress leg CI runs under
+// -race: every Volta SM streams uncoalesced writes, so all 80 SMs, all 40
+// TPC muxes, every GPC channel, all 48 crossbar ports, every slice, and the
+// reply subnet carry traffic at once — the maximum number of packets
+// crossing shard boundaries per cycle. 10k cycles at 8 workers must be
+// bit-identical to the sequential engine on every observable.
+func TestParallelEngineSaturatedAllToAll(t *testing.T) {
+	type observed struct {
+		Now    uint64
+		SMs    []sm.Stats
+		Slices [3]uint64
+		Links  []link.Stats
+	}
+	run := func(workers int) observed {
+		cfg := config.Volta()
+		cfg.Seed = 7
+		cfg.EngineWorkers = workers
+		g := mkGPU(t, cfg)
+		defer g.Close()
+		if workers >= 2 && g.Workers() != workers {
+			t.Fatalf("EngineWorkers=%d resolved to %d workers", workers, g.Workers())
+		}
+		warps := 2
+		preloadStreamers(g, cfg.NumSMs()*warps)
+		// Enough ops that no warp finishes within the measured window.
+		spec, _ := streamerKernel("sat", cfg.NumSMs(), warps, 1<<20, true, true, cfg.L2LineBytes)
+		if _, err := g.Launch(spec); err != nil {
+			t.Fatal(err)
+		}
+		g.RunFor(10_000)
+
+		var o observed
+		o.Now = g.Now()
+		for i := 0; i < cfg.NumSMs(); i++ {
+			o.SMs = append(o.SMs, g.SM(i).Stats())
+		}
+		st := g.Partition().Stats()
+		o.Slices = [3]uint64{st.Served, st.Hits, st.Misses}
+		for i := 0; i < cfg.NumTPCs(); i++ {
+			o.Links = append(o.Links, g.Network().TPCRequestLink(i).Stats(),
+				g.Network().TPCReplyLink(i).Stats())
+		}
+		for i := 0; i < cfg.NumGPCs; i++ {
+			o.Links = append(o.Links, g.Network().GPCRequestLink(i).Stats(),
+				g.Network().GPCReplyLink(i).Stats())
+		}
+		return o
+	}
+
+	want := run(1)
+	got := run(8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("8-worker saturated run diverges from sequential engine")
+	}
+	var served uint64 = want.Slices[0]
+	if served < 1000 {
+		t.Fatalf("only %d slice requests served in 10k cycles; workload is not saturating", served)
+	}
+}

@@ -1,0 +1,83 @@
+// The godoc analyzer: a go vet-style doc-comment check. Every exported
+// symbol in scope — functions, methods, types, and package-level consts and
+// vars — must carry a doc comment. The simulator's API is its documentation
+// surface (docs/ARCHITECTURE.md deliberately defers symbol-level detail to
+// godoc), so an undocumented export is doc drift. A grouped const/var
+// declaration is covered by a comment on the group; a genuinely
+// self-describing name can be waived with //lint:allow godoc <reason>.
+
+package lint
+
+import (
+	"go/ast"
+)
+
+func godocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "godoc",
+		Doc:  "require a doc comment on every exported symbol",
+		Run:  runGodoc,
+	}
+}
+
+func runGodoc(pass *Pass) {
+	if !pass.Rules.Godoc.Scope.Match(pass.Pkg.Rel) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, decl)
+			case *ast.GenDecl:
+				checkGenDoc(pass, decl)
+			}
+		}
+	}
+}
+
+// checkFuncDoc flags an exported function or method without a doc comment.
+// Methods on unexported types are skipped: they are not reachable from
+// outside the package, so godoc never renders them.
+func checkFuncDoc(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Doc != nil {
+		return
+	}
+	if fd.Recv != nil {
+		recv := receiverTypeName(fd)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		pass.Report(fd.Pos(), "exported method %s.%s has no doc comment", recv, fd.Name.Name)
+		return
+	}
+	pass.Report(fd.Pos(), "exported function %s has no doc comment", fd.Name.Name)
+}
+
+// checkGenDoc flags exported types, consts, and vars without a doc comment.
+// A comment on the declaration group ("// The default latencies." above a
+// const block) documents every name in the group.
+func checkGenDoc(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		switch spec := spec.(type) {
+		case *ast.TypeSpec:
+			if spec.Name.IsExported() && spec.Doc == nil && gd.Doc == nil {
+				pass.Report(spec.Pos(), "exported type %s has no doc comment", spec.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if gd.Doc != nil || spec.Doc != nil || spec.Comment != nil {
+				continue
+			}
+			for _, name := range spec.Names {
+				if name.IsExported() {
+					pass.Report(name.Pos(), "exported %s %s has no doc comment", kindOf(gd), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// kindOf renders a GenDecl's keyword for the finding message.
+func kindOf(gd *ast.GenDecl) string {
+	return gd.Tok.String()
+}

@@ -71,6 +71,7 @@ func Analyzers() []*Analyzer {
 		determinismAnalyzer(),
 		tickModelAnalyzer(),
 		purityAnalyzer(),
+		godocAnalyzer(),
 	}
 }
 

@@ -51,7 +51,7 @@ func render(t *testing.T, root string, diags []Diagnostic) string {
 // the rendered findings must match want.txt byte for byte.
 func TestFixtures(t *testing.T) {
 	for _, name := range []string{
-		"layering", "determinism", "tickmodel", "purity", "allowdirectives",
+		"layering", "determinism", "tickmodel", "purity", "godoc", "allowdirectives",
 	} {
 		t.Run(name, func(t *testing.T) {
 			root, diags := loadFixture(t, name)

@@ -20,6 +20,7 @@ type Rules struct {
 	Determinism DeterminismRules `json:"determinism"`
 	TickModel   TickModelRules   `json:"tick_model"`
 	Purity      PurityRules      `json:"purity"`
+	Godoc       GodocRules       `json:"godoc"`
 }
 
 // LayeringRules declares the import DAG. Keys and values are module-relative
@@ -88,12 +89,30 @@ type TickModelRules struct {
 	// AtomicAllow names types whose declaration and methods may use the
 	// banned imports — the sanctioned concurrency-safe exceptions.
 	AtomicAllow []TypeRef `json:"atomic_allow"`
+	// ParallelFiles is the engine-parallel tier: files exempted from the
+	// bans wholesale because they ARE the sanctioned parallelism — the
+	// engine's sharded worker pool, where the phase barrier lives. Listing
+	// a file here is a reviewed architectural decision, not a waiver; the
+	// rest of its package stays under the blanket ban.
+	ParallelFiles []FileRef `json:"parallel_files"`
 }
 
 // TypeRef names a type: a module-relative package dir plus a type name.
 type TypeRef struct {
 	Package string `json:"package"`
 	Type    string `json:"type"`
+}
+
+// FileRef names a file: a module-relative package dir plus a base filename.
+type FileRef struct {
+	Package string `json:"package"`
+	File    string `json:"file"`
+}
+
+// GodocRules configures the doc-comment check: every exported symbol in
+// scope must carry a doc comment.
+type GodocRules struct {
+	Scope Scope `json:"scope"`
 }
 
 // PurityRules configures the package-level mutable-state ban.
@@ -270,10 +289,24 @@ func DefaultRules() *Rules {
 				// simulation behavior.
 				{Package: "internal/config", Type: "CycleMeter"},
 			},
+			ParallelFiles: []FileRef{
+				// The engine-parallel tier: the sharded tick loop's worker
+				// pool. The phase barrier in this file is the only
+				// synchronization in the whole engine; every component it
+				// drives remains lock-free and single-owner per phase (see
+				// docs/ARCHITECTURE.md, "Parallel engine").
+				{Package: "internal/engine", File: "parallel.go"},
+			},
 		},
 		Purity: PurityRules{
 			Scope:               simulatorScope(),
 			AllowSentinelErrors: true,
+		},
+		Godoc: GodocRules{
+			// Unlike the simulator-only analyzers, the doc-comment check
+			// also covers the lint tooling itself; only the cmd/examples
+			// roots (package main, no API surface) are out of scope.
+			Scope: Scope{Include: []string{"", "internal/"}},
 		},
 	}
 }

@@ -1,0 +1,41 @@
+// Package noc is the godoc fixture: exported symbols without doc comments
+// are findings; documented, unexported, grouped, trailing-comment, and
+// waived shapes stay silent.
+package noc
+
+// Documented has a doc comment.
+type Documented struct{}
+
+type Undocumented struct{}
+
+type Waived struct{} //lint:allow godoc fixture pins that godoc findings are waivable
+
+// Exported is documented.
+func Exported() {}
+
+func Missing() {}
+
+func unexported() {}
+
+// Shown documents an exported method on an exported type.
+func (Documented) Shown() {}
+
+func (Documented) Hidden() {}
+
+type internalOnly struct{}
+
+// Methods on unexported types are invisible to godoc, documented or not.
+func (internalOnly) Exported() {}
+
+// Grouped declarations are covered by the group comment.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const Bare = 1
+
+const Trailing = 2 // a trailing comment documents the spec
+
+var _ = unexported
+var _ = internalOnly{}

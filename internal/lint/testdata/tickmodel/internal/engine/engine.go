@@ -1,0 +1,9 @@
+// Package engine is the tickmodel fixture's engine package: parallel.go is
+// the sanctioned engine-parallel tier, and the blanket bans still hold in
+// every other file of the same package.
+package engine
+
+// Tick violates the ban outside the sanctioned file.
+func Tick() {
+	go func() {}()
+}

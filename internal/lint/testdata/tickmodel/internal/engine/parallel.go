@@ -1,0 +1,29 @@
+// The engine-parallel tier fixture: this file is listed in
+// TickModelRules.ParallelFiles, so goroutines, channels, and sync are all
+// sanctioned here — without any //lint:allow directives.
+package engine
+
+import "sync"
+
+// Pool is a minimal worker pool exercising every banned construct.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// Go dispatches f on a fresh goroutine.
+func (p *Pool) Go(f func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		f()
+	}()
+}
+
+// Send queues f without running it.
+func (p *Pool) Send(f func()) {
+	select {
+	case p.jobs <- f:
+	default:
+	}
+}

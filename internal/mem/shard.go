@@ -1,0 +1,108 @@
+// Sharded parallel mode for the memory partition. The engine's parallel
+// tick loop (see internal/engine) groups each memory controller with the L2
+// slices it backs into one partition-group shard, ticked by that group's
+// worker during phase P. A slice never touches another group's controller
+// (the wiring in NewPartition is i/SlicesPerMC), replies leave through the
+// out sink — which the sharded fabric turns into an owner-local outbox
+// append (see internal/noc/shard.go) — and requests arrive through crossbar
+// ports owned by the same worker, so the shards share no mutable state and
+// need no locks. The only change from the sequential mode is that the
+// global active sets are split per group; member visit order within a group
+// (the controller, then its slices ascending) is exactly the exhaustive
+// order restricted to the shard, and groups are mutually independent, so
+// state identity with the sequential engine is preserved.
+
+package mem
+
+import (
+	"gpunoc/internal/sched"
+)
+
+// memShard holds the per-group active sets that replace the partition's
+// global ones in sharded mode. Sets are indexed by global component id;
+// each holds only its group's members, so Wake and Park stay single-owner.
+type memShard struct {
+	slicesPerMC int
+	actMCs      []*sched.ActiveSet // [group], single member m
+	actSlices   []*sched.ActiveSet // [group], members = that group's slices
+}
+
+// EnableSharding switches the partition into sharded parallel mode: every
+// controller and slice wake edge is rewired to its group's active set. It
+// must be called once, before any traffic, and only on a partition built
+// with activity scheduling and no probes (the engine clamps to the
+// sequential loop in both cases).
+func (p *Partition) EnableSharding() {
+	if p.shard != nil {
+		panic("mem: sharding already enabled")
+	}
+	if p.cfg.ExhaustiveTick || p.cfg.Probes != nil {
+		panic("mem: sharded mode requires activity scheduling and a nil probe registry")
+	}
+	sh := &memShard{
+		slicesPerMC: p.cfg.SlicesPerMC(),
+		actMCs:      make([]*sched.ActiveSet, len(p.mcs)),
+		actSlices:   make([]*sched.ActiveSet, len(p.mcs)),
+	}
+	for m := range p.mcs {
+		m := m
+		sh.actMCs[m] = sched.NewActiveSet(len(p.mcs))
+		sh.actSlices[m] = sched.NewActiveSet(len(p.slices))
+		p.mcs[m].SetWaker(func() { sh.actMCs[m].Wake(m) })
+		for s := m * sh.slicesPerMC; s < (m+1)*sh.slicesPerMC; s++ {
+			s := s
+			p.slices[s].SetWaker(func() { sh.actSlices[m].Wake(s) })
+		}
+	}
+	// The global sets must never be consulted again; Tick guards on shard.
+	p.actMCs, p.actSlices = nil, nil
+	p.shard = sh
+}
+
+// TickShard advances partition group m one cycle: its memory controller
+// first, then its slices in ascending id order — the exhaustive tick order
+// restricted to the group, so a slice miss this cycle reaches its
+// controller next cycle exactly as under sequential ticking. Owner: group
+// m's worker (phase P), after the group's crossbar ports have delivered via
+// Network.TickXbarShard.
+func (p *Partition) TickShard(now uint64, m int) {
+	sh := p.shard
+	if sh.actMCs[m].Active(m) {
+		mc := p.mcs[m]
+		mc.Tick(now)
+		if mc.Idle() {
+			sh.actMCs[m].Park(m)
+		}
+	}
+	set := sh.actSlices[m]
+	if set.Empty() {
+		return
+	}
+	for s := m * sh.slicesPerMC; s < (m+1)*sh.slicesPerMC; s++ {
+		if !set.Active(s) {
+			continue
+		}
+		sl := p.slices[s]
+		sl.Tick(now)
+		if sl.Idle() {
+			set.Park(s)
+		}
+	}
+}
+
+// ShardHasWork reports whether group m's controller or any of its slices
+// is awake, i.e. whether phase-P task m's TickShard would do anything.
+func (p *Partition) ShardHasWork(m int) bool {
+	return !p.shard.actMCs[m].Empty() || !p.shard.actSlices[m].Empty()
+}
+
+// quiet reports whether every group's sets are empty: the partition's next
+// cycle would do no work.
+func (sh *memShard) quiet() bool {
+	for m := range sh.actMCs {
+		if !sh.actMCs[m].Empty() || !sh.actSlices[m].Empty() {
+			return false
+		}
+	}
+	return true
+}

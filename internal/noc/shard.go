@@ -1,0 +1,337 @@
+// Sharded parallel mode for the fabric. The engine's parallel tick loop
+// (see internal/engine) partitions the device into per-GPC shards (SMs plus
+// the GPC's TPC/GPC links on both subnets) and per-partition-group shards
+// (one memory controller, its L2 slices, and their crossbar ports), ticked
+// by concurrent workers in two barrier-separated phases per cycle. Exactly
+// two edges of the fabric cross a shard boundary:
+//
+//   - requests: a GPC request channel delivers into the crossbar port of the
+//     packet's destination slice (GPC shard -> partition-group shard);
+//   - replies: an L2 slice injects into the reply channel of the destination
+//     SM's GPC (partition-group shard -> GPC shard).
+//
+// In sharded mode both edges go through single-owner outboxes instead of
+// enqueueing directly: the producing shard appends to its own box during its
+// phase, and the consuming shard drains the box — in ascending source-shard
+// order, FIFO within each box — at the start of its next phase, performing
+// the Enqueue itself. Every Enqueue side effect (queue push, watermark, wake
+// edge) therefore runs on the component's owning worker, and no lock is
+// needed anywhere: the phase barrier is the only synchronization, and it
+// lives in internal/engine's sanctioned worker pool, not here.
+//
+// State identity with the sequential engine holds by construction:
+//
+//   - link input queues are per-source FIFOs, so only the per-source order
+//     of Enqueues is observable, and the boxes preserve it;
+//   - drains replay the exhaustive enqueue order (requests reach a crossbar
+//     port before that port ticks in the same cycle; replies enter a GPC
+//     reply link after its tick at cycle T and before its tick at T+1) with
+//     the original cycle number, so queue-wait accounting and the per-input
+//     high-water marks are unchanged;
+//   - per-shard active sets mirror the global ones member for member, and
+//     members are visited in the same ascending index order.
+//
+// TestRandomTrafficMatchesExhaustiveTick and the engine lockstep regression
+// pin this at worker counts {1, 2, 4, 8}.
+
+package noc
+
+import (
+	"fmt"
+
+	"gpunoc/internal/link"
+	"gpunoc/internal/packet"
+	"gpunoc/internal/sched"
+)
+
+// xfer is one packet crossing a shard boundary: the cycle it left its
+// producing component, the destination link's index, the input index it
+// arrives on there, and the packet itself.
+type xfer struct {
+	now uint64
+	dst int // destination L2 slice (requests) or GPC (replies)
+	src int // input index at the destination link: GPC (requests) or slice (replies)
+	p   *packet.Packet
+}
+
+// shardState holds everything the sharded tick mode adds to a Network:
+// the crossbar-boundary outboxes and the per-shard active sets that
+// replace the global tick-group sets.
+type shardState struct {
+	slicesPerMC int
+	numGroups   int     // partition groups, one per memory controller
+	tpcsOfGPC   [][]int // ascending logical TPC ids per GPC
+	gpcOfSM     []int   // precomputed GPC of each SM (reply routing)
+
+	// xbox[g][m] holds requests from GPC g's request channel bound for
+	// crossbar ports of partition group m; written by GPC g's worker in
+	// phase G, drained by group m's worker in phase P of the same cycle.
+	xbox [][][]xfer
+	// rbox[m][g] holds replies from group m's slices bound for GPC g's
+	// reply channel; written by group m's worker in phase P, drained by
+	// GPC g's worker in phase G of the next cycle.
+	rbox [][][]xfer
+
+	// Per-shard active sets, indexed by global link id; each holds only
+	// its shard's members, so Wake and Park stay single-owner per phase.
+	actReqTPC []*sched.ActiveSet // [gpc], members = TPCs of that GPC
+	actReqGPC []*sched.ActiveSet // [gpc], single member g
+	actRepGPC []*sched.ActiveSet // [gpc], single member g
+	actRepTPC []*sched.ActiveSet // [gpc], members = TPCs of that GPC
+	actXbar   []*sched.ActiveSet // [group], members = that group's slices
+}
+
+// EnableSharding switches the fabric into sharded parallel mode: the two
+// cross-shard edges are rerouted through outboxes, and every link's wake
+// edge is rewired to its shard's active set. It must be called once, before
+// any traffic, and only on a fabric built with activity scheduling and no
+// probes (the engine clamps to the sequential loop in both cases, so a
+// sharded instrumented network cannot exist).
+func (n *Network) EnableSharding() {
+	cfg := n.cfg
+	if n.shard != nil {
+		panic("noc: sharding already enabled")
+	}
+	if cfg.ExhaustiveTick || cfg.Probes != nil {
+		panic("noc: sharded mode requires activity scheduling and a nil probe registry")
+	}
+	sh := &shardState{
+		slicesPerMC: cfg.SlicesPerMC(),
+		numGroups:   cfg.NumMCs,
+		tpcsOfGPC:   make([][]int, cfg.NumGPCs),
+		gpcOfSM:     make([]int, cfg.NumSMs()),
+	}
+	for g := 0; g < cfg.NumGPCs; g++ {
+		sh.tpcsOfGPC[g] = cfg.TPCsOfGPC(g)
+	}
+	for s := range sh.gpcOfSM {
+		sh.gpcOfSM[s] = cfg.GPCOfSM(s)
+	}
+	sh.xbox = make([][][]xfer, cfg.NumGPCs)
+	for g := range sh.xbox {
+		sh.xbox[g] = make([][]xfer, sh.numGroups)
+	}
+	sh.rbox = make([][][]xfer, sh.numGroups)
+	for m := range sh.rbox {
+		sh.rbox[m] = make([][]xfer, cfg.NumGPCs)
+	}
+
+	numTPC := cfg.NumTPCs()
+	sh.actReqTPC = make([]*sched.ActiveSet, cfg.NumGPCs)
+	sh.actReqGPC = make([]*sched.ActiveSet, cfg.NumGPCs)
+	sh.actRepGPC = make([]*sched.ActiveSet, cfg.NumGPCs)
+	sh.actRepTPC = make([]*sched.ActiveSet, cfg.NumGPCs)
+	for g := 0; g < cfg.NumGPCs; g++ {
+		g := g
+		sh.actReqTPC[g] = sched.NewActiveSet(numTPC)
+		sh.actReqGPC[g] = sched.NewActiveSet(cfg.NumGPCs)
+		sh.actRepGPC[g] = sched.NewActiveSet(cfg.NumGPCs)
+		sh.actRepTPC[g] = sched.NewActiveSet(numTPC)
+		for _, t := range sh.tpcsOfGPC[g] {
+			t := t
+			n.reqTPC[t].SetWaker(func() { sh.actReqTPC[g].Wake(t) })
+			n.repTPC[t].SetWaker(func() { sh.actRepTPC[g].Wake(t) })
+		}
+		n.reqGPC[g].SetWaker(func() { sh.actReqGPC[g].Wake(g) })
+		n.repGPC[g].SetWaker(func() { sh.actRepGPC[g].Wake(g) })
+	}
+	sh.actXbar = make([]*sched.ActiveSet, sh.numGroups)
+	for m := 0; m < sh.numGroups; m++ {
+		m := m
+		sh.actXbar[m] = sched.NewActiveSet(cfg.NumL2Slices)
+		for s := m * sh.slicesPerMC; s < (m+1)*sh.slicesPerMC; s++ {
+			s := s
+			n.xbarIn[s].SetWaker(func() { sh.actXbar[m].Wake(s) })
+		}
+	}
+
+	// The global sets must never be consulted again; Tick guards on shard.
+	n.actReqTPC, n.actReqGPC, n.actXbar, n.actRepGPC, n.actRepTPC = nil, nil, nil, nil, nil
+	n.shard = sh
+}
+
+// pushRequest boxes a packet leaving GPC g's request channel for the
+// crossbar port of its destination slice. Owner: GPC g's worker (phase G).
+func (sh *shardState) pushRequest(now uint64, g int, p *packet.Packet) {
+	m := p.Slice / sh.slicesPerMC
+	sh.xbox[g][m] = append(sh.xbox[g][m], xfer{now: now, dst: p.Slice, src: g, p: p})
+}
+
+// pushReply boxes a reply emitted by slice p.Slice for the destination SM's
+// GPC reply channel. Owner: the slice's partition-group worker (phase P).
+func (sh *shardState) pushReply(now uint64, p *packet.Packet) {
+	g := sh.gpcOfSM[p.Tag.SM]
+	m := p.Slice / sh.slicesPerMC
+	sh.rbox[m][g] = append(sh.rbox[m][g], xfer{now: now, dst: g, src: p.Slice, p: p})
+}
+
+// DrainReplies moves the replies slices emitted last cycle into GPC g's
+// reply channel. Boxes drain in ascending partition-group order, FIFO
+// within each box, reproducing the exhaustive enqueue order (slices tick in
+// ascending id order); each entry carries the cycle its slice emitted it,
+// so arrival times and queue-wait accounting are unchanged. Must run at the
+// start of phase G, before TickGPCShard. Owner: GPC g's worker.
+func (n *Network) DrainReplies(g int) {
+	sh := n.shard
+	for m := 0; m < sh.numGroups; m++ {
+		box := sh.rbox[m][g]
+		if len(box) == 0 {
+			continue
+		}
+		for _, e := range box {
+			n.repGPC[g].Enqueue(e.now, e.src, e.p)
+		}
+		sh.rbox[m][g] = box[:0]
+	}
+}
+
+// TickGPCShard advances GPC g's links one cycle, in the exhaustive group
+// order restricted to the shard: TPC request muxes, the GPC request
+// channel, the GPC reply channel, then the TPC reply demuxes. No link of
+// another GPC is readable or writable from here — requests leave through
+// pushRequest, replies arrive through DrainReplies — so cross-shard tick
+// order is immaterial. Owner: GPC g's worker (phase G).
+func (n *Network) TickGPCShard(now uint64, g int) {
+	sh := n.shard
+	tickMembers(now, sh.actReqTPC[g], n.reqTPC, sh.tpcsOfGPC[g])
+	tickOne(now, sh.actReqGPC[g], n.reqGPC, g)
+	tickOne(now, sh.actRepGPC[g], n.repGPC, g)
+	tickMembers(now, sh.actRepTPC[g], n.repTPC, sh.tpcsOfGPC[g])
+}
+
+// TickXbarShard drains the request outboxes bound for partition group m (in
+// ascending GPC order, FIFO within each box — the exhaustive enqueue order,
+// since GPC request channels tick in ascending order before any crossbar
+// port) and then ticks the group's crossbar ports. Must run before the
+// partition shard's Tick so deliveries reach slices in-cycle, exactly as
+// under the sequential net-then-partition order. Owner: group m's worker
+// (phase P).
+func (n *Network) TickXbarShard(now uint64, m int) {
+	sh := n.shard
+	for g := range sh.xbox {
+		box := sh.xbox[g][m]
+		if len(box) == 0 {
+			continue
+		}
+		for _, e := range box {
+			n.xbarIn[e.dst].Enqueue(e.now, e.src, e.p)
+		}
+		sh.xbox[g][m] = box[:0]
+	}
+	set := sh.actXbar[m]
+	if set.Empty() {
+		return
+	}
+	for s := m * sh.slicesPerMC; s < (m+1)*sh.slicesPerMC; s++ {
+		if !set.Active(s) {
+			continue
+		}
+		l := n.xbarIn[s]
+		l.Tick(now)
+		if l.Idle() {
+			set.Park(s)
+		}
+	}
+}
+
+// tickMembers ticks the active members of one shard's slice of a link
+// group, ascending, parking each one that drained.
+func tickMembers(now uint64, set *sched.ActiveSet, group []*link.Link, members []int) {
+	if set.Empty() {
+		return
+	}
+	for _, i := range members {
+		if !set.Active(i) {
+			continue
+		}
+		l := group[i]
+		l.Tick(now)
+		if l.Idle() {
+			set.Park(i)
+		}
+	}
+}
+
+// tickOne ticks the single member i of a one-member shard set.
+func tickOne(now uint64, set *sched.ActiveSet, group []*link.Link, i int) {
+	if !set.Active(i) {
+		return
+	}
+	l := group[i]
+	l.Tick(now)
+	if l.Idle() {
+		set.Park(i)
+	}
+}
+
+// GPCShardHasWork reports whether the fabric part of phase-G task g would
+// do anything this cycle: a reply waiting to drain or an active link in the
+// shard. The engine checks its own SM shard separately and uses the
+// combined answer to run sparse phases inline instead of dispatching.
+func (n *Network) GPCShardHasWork(g int) bool {
+	sh := n.shard
+	for m := 0; m < sh.numGroups; m++ {
+		if len(sh.rbox[m][g]) != 0 {
+			return true
+		}
+	}
+	return !sh.actReqTPC[g].Empty() || !sh.actReqGPC[g].Empty() ||
+		!sh.actRepGPC[g].Empty() || !sh.actRepTPC[g].Empty()
+}
+
+// XbarShardHasWork reports whether the fabric part of phase-P task m would
+// do anything this cycle: a request waiting to drain or an active crossbar
+// port. The partition side is Partition.ShardHasWork.
+func (n *Network) XbarShardHasWork(m int) bool {
+	sh := n.shard
+	for g := range sh.xbox {
+		if len(sh.xbox[g][m]) != 0 {
+			return true
+		}
+	}
+	return !sh.actXbar[m].Empty()
+}
+
+// quiet reports whether every shard set is empty and no packet is parked in
+// an outbox: the fabric's next cycle would do no work.
+func (sh *shardState) quiet() bool {
+	for g := range sh.actReqTPC {
+		if !sh.actReqTPC[g].Empty() || !sh.actReqGPC[g].Empty() ||
+			!sh.actRepGPC[g].Empty() || !sh.actRepTPC[g].Empty() {
+			return false
+		}
+	}
+	for _, set := range sh.actXbar {
+		if !set.Empty() {
+			return false
+		}
+	}
+	return sh.boxesEmpty()
+}
+
+// boxesEmpty reports whether no packet is in flight between shards.
+func (sh *shardState) boxesEmpty() bool {
+	for g := range sh.xbox {
+		for m := range sh.xbox[g] {
+			if len(sh.xbox[g][m]) != 0 {
+				return false
+			}
+		}
+	}
+	for m := range sh.rbox {
+		for g := range sh.rbox[m] {
+			if len(sh.rbox[m][g]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// assertSequential panics when the sequential entry points are used on a
+// sharded fabric; the per-shard methods above are the only valid ones.
+func (n *Network) assertSequential(what string) {
+	if n.shard != nil {
+		panic(fmt.Sprintf("noc: %s called on a sharded fabric (use the per-shard tick methods)", what))
+	}
+}
