@@ -27,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type baselineEntry struct {
@@ -87,7 +88,16 @@ func run(baselinePath, in string, tolerance float64) error {
 	if len(measured) == 0 {
 		return fmt.Errorf("no BenchmarkEngineTick results in input")
 	}
+	return compare(os.Stdout, base.EngineTick, measured, tolerance, baselinePath)
+}
 
+// compare reports every measured sub-benchmark against the baseline. Gated
+// entries outside the tolerance band fail; "gate": false entries print an
+// UNGATED line so unenforced metrics stay visible in CI logs instead of
+// being silently skipped; a baseline entry whose benchmark no longer exists
+// in the input is an error (a renamed or deleted benchmark must take its
+// baseline entry with it).
+func compare(w io.Writer, base map[string]baselineEntry, measured map[string]float64, tolerance float64, baselinePath string) error {
 	names := make([]string, 0, len(measured))
 	for name := range measured {
 		names = append(names, name)
@@ -97,27 +107,33 @@ func run(baselinePath, in string, tolerance float64) error {
 	failures := 0
 	for _, name := range names {
 		got := measured[name]
-		entry, ok := base.EngineTick[name]
+		entry, ok := base[name]
 		if !ok {
-			fmt.Printf("%-12s %10.4f ns/op  (no baseline entry — add one to %s)\n", name, got, baselinePath)
+			fmt.Fprintf(w, "%-12s %10.4f ns/op  (no baseline entry — add one to %s)\n", name, got, baselinePath)
 			continue
 		}
 		gated := entry.Gate == nil || *entry.Gate
 		drift := got/entry.After - 1
 		status := "ok"
 		if !gated {
-			status = "ungated"
+			status = "UNGATED"
 		} else if drift > tolerance || drift < -tolerance {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("%-12s %10.4f ns/op  baseline %10.4f  drift %+6.1f%%  %s\n",
+		fmt.Fprintf(w, "%-12s %10.4f ns/op  baseline %10.4f  drift %+6.1f%%  %s\n",
 			name, got, entry.After, drift*100, status)
 	}
-	for name := range base.EngineTick {
+	var missing []string
+	for name := range base {
 		if _, ok := measured[name]; !ok {
-			return fmt.Errorf("baseline metric %q missing from benchmark output", name)
+			missing = append(missing, name)
 		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline metric(s) %s missing from benchmark output; remove stale entries from %s or restore the benchmark",
+			strings.Join(missing, ", "), baselinePath)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d metric(s) outside the ±%.0f%% band; if intentional, regenerate %s (see its \"how\" section)",

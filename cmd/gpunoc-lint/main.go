@@ -5,14 +5,22 @@
 //
 // Usage:
 //
-//	go run ./cmd/gpunoc-lint ./...          # lint the whole module
-//	go run ./cmd/gpunoc-lint ./internal/noc # one package
-//	go run ./cmd/gpunoc-lint -rules         # dump the rule tables as JSON
+//	go run ./cmd/gpunoc-lint ./...              # lint the whole module
+//	go run ./cmd/gpunoc-lint ./internal/noc     # one package
+//	go run ./cmd/gpunoc-lint -rules             # dump the rule tables as JSON
+//	go run ./cmd/gpunoc-lint -format sarif ./...# SARIF 2.1.0 for CI upload
 //
-// Diagnostics print as "file:line: [rule] message". The exit status is 0
-// when the tree is clean, 1 when there are findings, and 2 on a usage or
-// load error. Individual findings can be waived in source with
-// "//lint:allow <rule> <reason>" on the offending line or the line above.
+// Diagnostics print as "file:line: [rule] message" (-format text, the
+// default), a JSON array (-format json), or a SARIF 2.1.0 log with
+// module-root-relative URIs (-format sarif, consumed by CI's upload-sarif
+// annotate step). The exit status is 0 when the tree is clean, 1 when there
+// are findings, and 2 on a usage or load error. Individual findings can be
+// waived in source with "//lint:allow <rule> <reason>" on the offending line
+// or the line above.
+//
+// The whole-program analyzers (shardsafety, hotalloc) compute reachability
+// from entry points in internal/engine; linting a sub-pattern that excludes
+// those packages turns them into no-ops, so CI always lints "./...".
 package main
 
 import (
@@ -34,14 +42,25 @@ func main() {
 func run() int {
 	flags := flag.NewFlagSet("gpunoc-lint", flag.ExitOnError)
 	rulesFlag := flags.Bool("rules", false, "print the active rule configuration as JSON and exit")
-	jsonFlag := flags.Bool("json", false, "emit diagnostics as a JSON array instead of file:line lines")
+	jsonFlag := flags.Bool("json", false, "shorthand for -format json")
+	formatFlag := flags.String("format", "text", "output format: text, json, or sarif")
 	flags.Usage = func() {
-		fmt.Fprintf(flags.Output(), "usage: gpunoc-lint [-rules] [-json] [packages]\n\n"+
+		fmt.Fprintf(flags.Output(), "usage: gpunoc-lint [-rules] [-format text|json|sarif] [packages]\n\n"+
 			"Packages are directory patterns relative to the current directory\n"+
 			"(default \"./...\"). See docs/ARCHITECTURE.md, \"Enforced invariants\".\n\n")
 		flags.PrintDefaults()
 	}
 	flags.Parse(os.Args[1:])
+	format := *formatFlag
+	if *jsonFlag {
+		format = "json"
+	}
+	switch format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "gpunoc-lint: unknown format %q (want text, json, or sarif)\n", format)
+		return 2
+	}
 
 	rules := lint.DefaultRules()
 	if *rulesFlag {
@@ -94,22 +113,30 @@ func run() int {
 	}
 
 	diags := lint.Run(pkgs, rules, lint.Analyzers())
-	for i := range diags {
-		if r, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil {
-			diags[i].Pos.Filename = r
-		}
-	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	if *jsonFlag {
+	switch format {
+	case "sarif":
+		// SARIF URIs are module-root-relative regardless of cwd: the CI
+		// upload action resolves them against the repository checkout.
+		out, err := lint.SARIF(diags, lint.Analyzers(), root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpunoc-lint: %v\n", err)
+			return 2
+		}
+		w.Write(out)
+		w.WriteByte('\n')
+	case "json":
+		relativize(diags, cwd)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintf(os.Stderr, "gpunoc-lint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
+		relativize(diags, cwd)
 		for _, d := range diags {
 			fmt.Fprintln(w, d)
 		}
@@ -120,6 +147,16 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// relativize rewrites diagnostic filenames relative to the working directory
+// for human-facing output.
+func relativize(diags []lint.Diagnostic, cwd string) {
+	for i := range diags {
+		if r, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = r
+		}
+	}
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns the

@@ -295,6 +295,7 @@ func (g *GPU) updateKernels() {
 					panic(fmt.Sprintf("engine: release kernel %d block on SM %d: %v", k.ID, bp.SM, err))
 				}
 			}
+			//lint:allow hotalloc runs once per kernel completion, not per cycle
 			seen := map[int]bool{}
 			for _, bp := range k.Blocks {
 				if !seen[bp.SM] {

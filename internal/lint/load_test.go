@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a mini module tree under a temp dir: keys are
+// slash-separated relative paths, values file contents.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func loadTree(t *testing.T, files map[string]string) ([]*Package, error) {
+	t.Helper()
+	l := &Loader{ModulePath: "gpunoc", Dir: writeTree(t, files)}
+	return l.Load("./...")
+}
+
+// An unparseable file aborts the load with an error naming the file — syntax
+// damage must be loud, not a silently half-analyzed package.
+func TestLoadUnparseableFileFails(t *testing.T) {
+	_, err := loadTree(t, map[string]string{
+		"internal/a/a.go": "package a\n\nfunc Broken( {\n",
+	})
+	if err == nil {
+		t.Fatal("Load must fail on a syntax error")
+	}
+	if !strings.Contains(err.Error(), "lint: parse") || !strings.Contains(err.Error(), "a.go") {
+		t.Errorf("error should name the unparseable file, got: %v", err)
+	}
+}
+
+// A type-check failure is recorded on the package but never aborts the load:
+// analyzers keep working on syntax, and `go build` guards compilability.
+func TestLoadTypeErrorIsRecordedNotFatal(t *testing.T) {
+	pkgs, err := loadTree(t, map[string]string{
+		"internal/a/a.go": "package a\n\nvar X = undefinedIdent\n",
+		"internal/b/b.go": "package b\n\nvar Y = 1\n",
+	})
+	if err != nil {
+		t.Fatalf("a type error must not fail the load: %v", err)
+	}
+	byRel := map[string]*Package{}
+	for _, p := range pkgs {
+		byRel[p.Rel] = p
+	}
+	a := byRel["internal/a"]
+	if a == nil {
+		t.Fatal("package internal/a not returned")
+	}
+	if len(a.TypeErrors) == 0 {
+		t.Error("internal/a must carry its type error")
+	}
+	if len(a.Files) == 0 {
+		t.Error("internal/a must still expose syntax for the analyzers")
+	}
+	b := byRel["internal/b"]
+	if b == nil || len(b.TypeErrors) != 0 {
+		t.Errorf("healthy sibling internal/b must load cleanly, got %+v", b)
+	}
+}
+
+// An import of a package outside the module (and outside the stdlib) cannot
+// resolve without network or a module cache; the loader records the failure
+// as a type error on the importing package and keeps going.
+func TestLoadForeignImportIsRecordedNotFatal(t *testing.T) {
+	pkgs, err := loadTree(t, map[string]string{
+		"internal/a/a.go": "package a\n\nimport \"example.com/not/vendored\"\n\nvar X = notvendored.Thing\n",
+	})
+	if err != nil {
+		t.Fatalf("an unresolvable foreign import must not fail the load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) == 0 {
+		t.Error("the foreign import failure must be recorded in TypeErrors")
+	}
+}
+
+// An import of a module-local package that does not exist on disk hits the
+// resolver's "not loaded" path, again as a recorded type error.
+func TestLoadMissingLocalImportIsRecordedNotFatal(t *testing.T) {
+	pkgs, err := loadTree(t, map[string]string{
+		"internal/a/a.go": "package a\n\nimport \"gpunoc/internal/ghost\"\n\nvar X = ghost.Thing\n",
+	})
+	if err != nil {
+		t.Fatalf("a missing local import must not fail the load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	var found bool
+	for _, e := range pkgs[0].TypeErrors {
+		if strings.Contains(e.Error(), "not loaded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`want a "not loaded" type error, got %v`, pkgs[0].TypeErrors)
+	}
+}
+
+// An import cycle (which only a layering violation could introduce) is
+// detected by the bottom-up walk and recorded instead of recursing forever.
+func TestLoadImportCycleIsRecordedNotFatal(t *testing.T) {
+	pkgs, err := loadTree(t, map[string]string{
+		"internal/a/a.go": "package a\n\nimport \"gpunoc/internal/b\"\n\nvar X = b.Y\n",
+		"internal/b/b.go": "package b\n\nimport \"gpunoc/internal/a\"\n\nvar Y = a.X\n",
+	})
+	if err != nil {
+		t.Fatalf("an import cycle must not fail the load: %v", err)
+	}
+	var cycle bool
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			if strings.Contains(e.Error(), "import cycle") {
+				cycle = true
+			}
+		}
+	}
+	if !cycle {
+		t.Error(`want an "import cycle" type error on one of the packages`)
+	}
+}

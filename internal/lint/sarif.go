@@ -1,0 +1,109 @@
+// SARIF 2.1.0 rendering of lint findings, so CI can upload them with
+// github/codeql-action/upload-sarif and get inline pull-request annotations.
+// Only the subset of the format that GitHub code scanning consumes is
+// emitted: one run, the driver's rule table, and one result per diagnostic
+// with a physical location. URIs are module-root-relative with forward
+// slashes, which is what the upload action resolves against the checkout.
+
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. root is the module root:
+// diagnostic filenames (absolute or root-relative) become root-relative URIs.
+// The rule table lists every analyzer plus the "lint" pseudo-rule that
+// directive-hygiene findings carry.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: "lint",
+		ShortDescription: sarifMessage{Text: "//lint:allow directive hygiene (malformed, unknown rule, unused)"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if filepath.IsAbs(uri) {
+			if rel, err := filepath.Rel(root, uri); err == nil {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+				Region:           sarifRegion{StartLine: d.Pos.Line},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "gpunoc-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

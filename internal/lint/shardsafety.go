@@ -1,0 +1,555 @@
+// The shardsafety analyzer proves, from source, the ownership discipline the
+// sharded parallel engine relies on (internal/engine/parallel.go,
+// internal/noc/shard.go, internal/mem/shard.go): within the functions
+// reachable from the per-GPC and per-MC-group phase tasks, every touch of
+// partitioned engine state must resolve to the task's own shard. The dynamic
+// half of the argument — the worker-matrix lockstep and -race regressions —
+// samples executions; this analyzer quantifies over all of them, so a
+// refactor that introduces a cross-shard write fails CI even on paths the
+// fuzzer never drives.
+//
+// The analysis is a forward taint ("derivedness") propagation rooted at the
+// declared shard parameters. A value is shard-derived when it is:
+//
+//   - the phase task's shard parameter (axiomatically: runPhase dispatches
+//     task i with argument i);
+//   - a parameter of a reachable function whose every reachable call site
+//     passes a derived argument (interprocedural step);
+//   - a variable captured by a function literal (closures such as the wake
+//     edges are created per shard member during setup and capture exactly
+//     their member's indices — single-owner by construction);
+//   - a field of a packet value (a packet belongs to exactly one shard at a
+//     time, so routing on p.Slice / p.Tag.SM stays inside the owner; the
+//     hand-off containment rule below pins the ownership transfer itself);
+//   - computed from derived values (calls, arithmetic, indexing, ranging).
+//
+// Constants and fresh loop variables are NOT derived — a literal-index peek
+// into another shard, or a loop over all shards, is exactly the bug class
+// this exists to catch. Four checks consume the taint:
+//
+//  1. indexing an owned collection (Rules.ShardSafety.OwnedCollections)
+//     requires a derived index;
+//  2. the hand-off outboxes (HandoffFields) may be touched only inside the
+//     sanctioned producer/drain/query set (HandoffFuncs);
+//  3. fields of coordinator-owned structs (CoordinatorTypes) must not be
+//     written from a phase;
+//  4. nothing may be assigned to package-level state.
+//
+// Known limits, accepted deliberately: copying an owned collection into a
+// local and indexing the alias is not tracked (the repo's helpers receive
+// collections as parameters, which the interprocedural step covers), and a
+// packet's dynamic ownership is trusted rather than proven (that is what the
+// hand-off rule plus the byte-identity worker matrix pin).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func shardSafetyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:       "shardsafety",
+		Doc:        "parallel-engine phase tasks touch only their own shard's state",
+		RunProgram: runShardSafety,
+	}
+}
+
+// shardCtx is the resolved rule configuration plus the analysis products.
+type shardCtx struct {
+	pass    *ProgramPass
+	graph   *CallGraph
+	owned   map[*types.Var]bool
+	handoff map[*types.Var]bool
+	coord   map[*types.Named]bool
+	packet  map[*types.Named]bool
+	sanct   map[*CGNode]bool
+	reach   map[*CGNode]bool
+	// derivedParam marks parameters proven shard-derived at every reachable
+	// call site (roots are seeded).
+	derivedParam map[*types.Var]bool
+}
+
+func runShardSafety(pass *ProgramPass) {
+	r := &pass.Rules.ShardSafety
+	if len(r.PhaseRoots) == 0 {
+		pass.Disable()
+		return
+	}
+	cx := &shardCtx{
+		pass:         pass,
+		graph:        pass.Graph,
+		owned:        resolveFields(pass.Pkgs, r.OwnedCollections),
+		handoff:      resolveFields(pass.Pkgs, r.HandoffFields),
+		coord:        resolveTypes(pass.Pkgs, r.CoordinatorTypes),
+		packet:       resolveTypes(pass.Pkgs, r.PacketTypes),
+		sanct:        make(map[*CGNode]bool),
+		derivedParam: make(map[*types.Var]bool),
+	}
+	for _, ref := range r.HandoffFuncs {
+		if n := pass.Graph.Lookup(ref); n != nil {
+			cx.sanct[n] = true
+		}
+	}
+
+	var roots []*CGNode
+	for _, pr := range r.PhaseRoots {
+		n := pass.Graph.Lookup(pr.Func)
+		if n == nil {
+			// Entry point absent from the loaded set: a sub-pattern lint.
+			// Check what is loaded, but stand down waiver-rot enforcement.
+			pass.Disable()
+			continue
+		}
+		roots = append(roots, n)
+		if v := paramByName(n, pr.ShardParam); v != nil {
+			cx.derivedParam[v] = true
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	cx.reach = pass.Graph.Reachable(roots)
+
+	cx.propagate()
+
+	for _, n := range pass.Graph.Nodes { // deterministic order
+		if cx.reach[n] {
+			cx.check(n)
+		}
+	}
+}
+
+// propagate runs the interprocedural fixpoint: a callee parameter becomes
+// derived once every reachable call site passes it a derived argument.
+// Monotone — derivedness only grows — so the loop terminates.
+func (cx *shardCtx) propagate() {
+	for {
+		changed := false
+		good := make(map[*types.Var]bool)
+		bad := make(map[*types.Var]bool)
+		for _, n := range cx.graph.Nodes {
+			if !cx.reach[n] {
+				continue
+			}
+			d := cx.analyze(n)
+			for _, e := range n.Out {
+				if e.Call == nil {
+					continue
+				}
+				params := paramVars(e.Callee)
+				for i, arg := range e.Call.Args {
+					if i >= len(params) || params[i] == nil {
+						break
+					}
+					if d.expr(arg) {
+						good[params[i]] = true
+					} else {
+						bad[params[i]] = true
+					}
+				}
+			}
+		}
+		for v := range good {
+			if !bad[v] && !cx.derivedParam[v] {
+				cx.derivedParam[v] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// paramVars returns a node's parameter objects; the variadic tail is nil so
+// its positions never receive taint.
+func paramVars(n *CGNode) []*types.Var {
+	sig := n.Sig()
+	if sig == nil {
+		return nil
+	}
+	out := make([]*types.Var, sig.Params().Len())
+	for i := range out {
+		out[i] = sig.Params().At(i)
+	}
+	if sig.Variadic() && len(out) > 0 {
+		out[len(out)-1] = nil
+	}
+	return out
+}
+
+// paramByName finds a node's parameter by declared name.
+func paramByName(n *CGNode, name string) *types.Var {
+	sig := n.Sig()
+	if sig == nil {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if v := sig.Params().At(i); v.Name() == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// derivation is the per-function taint state: the set of local objects
+// proven shard-derived, plus the oracles needed to judge expressions.
+type derivation struct {
+	cx      *shardCtx
+	node    *CGNode
+	info    *types.Info
+	derived map[types.Object]bool
+}
+
+// analyze computes n's local derivation under the current derivedParam state.
+func (cx *shardCtx) analyze(n *CGNode) *derivation {
+	d := &derivation{cx: cx, node: n, info: n.Pkg.Info, derived: make(map[types.Object]bool)}
+
+	sig := n.Sig()
+	own := make(map[types.Object]bool)
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			v := sig.Params().At(i)
+			own[v] = true
+			if cx.derivedParam[v] {
+				d.derived[v] = true
+			}
+		}
+		if r := sig.Recv(); r != nil {
+			own[r] = true
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			own[sig.Results().At(i)] = true
+		}
+	}
+
+	// Captured variables: declared outside the body, not package-level, not
+	// this function's own parameters. Closures in this codebase are created
+	// per shard member and capture that member's indices, so captures are
+	// derived by construction.
+	bodyInspect(n.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := d.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || own[v] {
+			return true
+		}
+		if v.Parent() == n.Pkg.Types.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < n.Body.Pos() || v.Pos() > n.Body.End() {
+			d.derived[v] = true
+		}
+		return true
+	})
+
+	// Local propagation to a fixpoint: assignments and ranges move taint.
+	type flow struct {
+		targets []types.Object
+		src     ast.Expr
+	}
+	var flows []flow
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if o := d.info.Defs[id]; o != nil {
+				return o
+			}
+			return d.info.Uses[id]
+		}
+		return nil
+	}
+	bodyInspect(n.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					if o := objOf(s.Lhs[i]); o != nil {
+						flows = append(flows, flow{[]types.Object{o}, s.Rhs[i]})
+					}
+				}
+			} else if len(s.Rhs) == 1 {
+				var ts []types.Object
+				for _, l := range s.Lhs {
+					if o := objOf(l); o != nil {
+						ts = append(ts, o)
+					}
+				}
+				flows = append(flows, flow{ts, s.Rhs[0]})
+			}
+		case *ast.RangeStmt:
+			var ts []types.Object
+			if s.Key != nil {
+				if o := objOf(s.Key); o != nil {
+					ts = append(ts, o)
+				}
+			}
+			if s.Value != nil {
+				if o := objOf(s.Value); o != nil {
+					ts = append(ts, o)
+				}
+			}
+			if len(ts) > 0 {
+				flows = append(flows, flow{ts, s.X})
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					if o := d.info.Defs[name]; o != nil {
+						flows = append(flows, flow{[]types.Object{o}, s.Values[i]})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for {
+		changed := false
+		for _, f := range flows {
+			if !d.expr(f.src) {
+				continue
+			}
+			for _, t := range f.targets {
+				if !d.derived[t] {
+					d.derived[t] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return d
+		}
+	}
+}
+
+// expr reports whether e is shard-derived.
+func (d *derivation) expr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if d.packetTyped(e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := d.info.Uses[x]; o != nil && d.derived[o] {
+			return true
+		}
+		if o := d.info.Defs[x]; o != nil && d.derived[o] {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if d.cx.sanct[d.node] && d.handoffSel(x) {
+			return true // the box belongs to this shard pair by contract
+		}
+		return d.expr(x.X)
+	case *ast.IndexExpr:
+		return d.expr(x.X) || d.expr(x.Index)
+	case *ast.SliceExpr:
+		return d.expr(x.X)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if d.expr(a) {
+				return true
+			}
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			return d.expr(sel.X)
+		}
+	case *ast.BinaryExpr:
+		return d.expr(x.X) || d.expr(x.Y)
+	case *ast.ParenExpr:
+		return d.expr(x.X)
+	case *ast.StarExpr:
+		return d.expr(x.X)
+	case *ast.UnaryExpr:
+		return d.expr(x.X)
+	}
+	return false
+}
+
+// packetTyped reports whether e's static type is (a pointer to) one of the
+// declared packet types.
+func (d *derivation) packetTyped(e ast.Expr) bool {
+	tv, ok := d.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && d.cx.packet[named]
+}
+
+// handoffSel reports whether sel selects one of the hand-off fields.
+func (d *derivation) handoffSel(sel *ast.SelectorExpr) bool {
+	s, ok := d.info.Selections[sel]
+	if !ok {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return ok && d.cx.handoff[v]
+}
+
+// check applies the four shard-safety checks to one reachable function.
+func (cx *shardCtx) check(n *CGNode) {
+	d := cx.analyze(n)
+	info := n.Pkg.Info
+	where := n.String()
+
+	fieldVar := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		if s, ok := info.Selections[sel]; ok {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		return nil
+	}
+	checkWrite := func(lhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		// Escape to package scope.
+		if id, ok := rootIdent(lhs); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() &&
+				v.Parent() == n.Pkg.Types.Scope() {
+				cx.pass.Report(lhs.Pos(),
+					"%s writes package-level %s — shard tasks must not escape state to package scope", where, v.Name())
+			}
+		}
+		// Direct field write on a coordinator-owned struct.
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || !cx.coord[named] {
+			return
+		}
+		if v := fieldVar(sel); v != nil && cx.handoff[v] && cx.sanct[n] {
+			return
+		}
+		cx.pass.Report(lhs.Pos(),
+			"%s writes field %s of coordinator-owned %s from a phase task", where, sel.Sel.Name, named.Obj().Name())
+	}
+
+	bodyInspect(n.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X)
+		case *ast.SelectorExpr:
+			if v := fieldVar(s); v != nil && cx.handoff[v] && !cx.sanct[n] {
+				cx.pass.Report(s.Pos(),
+					"%s touches hand-off field %s outside the sanctioned producer/drain set", where, s.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			v := fieldVar(s.X)
+			if v == nil || !cx.owned[v] {
+				return true
+			}
+			if cx.handoff[v] {
+				return true // containment is the hand-off check's job
+			}
+			if !d.expr(s.Index) {
+				cx.pass.Report(s.Pos(),
+					"%s indexes %s with a value not derived from the shard id", where, v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps selectors, indexes, derefs, and parens to the leftmost
+// identifier of an lvalue chain.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// resolveFields maps FieldRefs to the struct field objects they name.
+// Unresolvable entries are skipped: fixture trees declare only the slices of
+// the real types they exercise, and the real tree pins full resolution with
+// a dedicated test.
+func resolveFields(pkgs []*Package, refs []FieldRef) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, ref := range refs {
+		st := lookupStruct(pkgs, ref.Package, ref.Type)
+		if st == nil {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Name() == ref.Field {
+				out[f] = true
+			}
+		}
+	}
+	return out
+}
+
+// resolveTypes maps TypeRefs to named types.
+func resolveTypes(pkgs []*Package, refs []TypeRef) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	for _, ref := range refs {
+		for _, pkg := range pkgs {
+			if pkg.Rel != ref.Package || pkg.Types == nil {
+				continue
+			}
+			if tn, ok := pkg.Types.Scope().Lookup(ref.Type).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					out[named] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lookupStruct finds the struct type declared as rel.typeName.
+func lookupStruct(pkgs []*Package, rel, typeName string) *types.Struct {
+	for _, pkg := range pkgs {
+		if pkg.Rel != rel || pkg.Types == nil {
+			continue
+		}
+		tn, ok := pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+			return st
+		}
+	}
+	return nil
+}

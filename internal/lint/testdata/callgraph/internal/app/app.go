@@ -1,0 +1,50 @@
+// Package app is the call-graph unit-test fixture: each function below
+// exercises one edge source (static, CHA, field-sensitive indirect,
+// signature-bucket indirect, param-to-field flow, direct literal invocation).
+package app
+
+// Ticker is dispatched through CHA.
+type Ticker interface{ Tick() }
+
+// Dev implements Ticker.
+type Dev struct{ n int }
+
+// Tick advances the device.
+func (d *Dev) Tick() { d.n++ }
+
+// Holder carries func-typed fields with different store shapes.
+type Holder struct {
+	cb   func(int)
+	wake func()
+}
+
+// SetWake is the param-to-field pattern: the field's values are whatever the
+// call sites pass.
+func (h *Holder) SetWake(w func()) { h.wake = w }
+
+func helper(x int) int { return x + 1 }
+
+func coldFn(x int) int { return x * 2 }
+
+func stored(int) {}
+
+func taken(int) {}
+
+func pick() func(int) { return taken }
+
+// Root only makes field-resolvable indirect calls and a CHA dispatch.
+func Root() {
+	h := &Holder{cb: stored}
+	h.SetWake(func() { _ = helper(1) })
+	h.cb(1)
+	h.wake()
+	var t Ticker = &Dev{}
+	t.Tick()
+}
+
+// Indirect makes a signature-bucket call and a direct literal invocation.
+func Indirect() {
+	f := pick()
+	f(2)
+	func() { _ = 1 }()
+}

@@ -1,0 +1,75 @@
+// Package link is the hotalloc fixture: a Link whose Tick method is a
+// declared steady-state root, containing one of each allocation-site kind,
+// the clean shapes that must stay silent, a waived site, and a cold function
+// no root reaches.
+package link
+
+import "fmt"
+
+// Link is one fixture hop.
+type Link struct {
+	buf  []int
+	name string
+}
+
+// sink boxes its argument when it is not pointer-shaped.
+func sink(v any) bool { return v != nil }
+
+// Tick advances the link one cycle.
+func (l *Link) Tick(now uint64) {
+	// Clean: the reuse idiom on a field keeps steady-state capacity.
+	l.buf = append(l.buf, int(now))
+
+	// Finding: make on the tick path.
+	tmp := make([]int, 4)
+	_ = tmp
+
+	// Waived: the reason documents why this cold branch is acceptable.
+	//lint:allow hotalloc drained once at shutdown, not per cycle
+	shutdown := make([]int, 1)
+	_ = shutdown
+
+	// Finding: appending to a slice declared in this function allocates
+	// every call.
+	var fresh []int
+	fresh = append(fresh, 1)
+	_ = fresh
+
+	// Findings: slice literal, map literal, &T{...}.
+	pair := []int{1, 2}
+	_ = pair
+	idx := map[int]int{}
+	_ = idx
+	other := &Link{}
+	_ = other
+
+	// Finding: closure creation.
+	f := func() int { return 0 }
+	_ = f()
+
+	// Finding: string/[]byte conversion copies.
+	raw := []byte(l.name)
+	_ = raw
+
+	// Finding: boxing an int into any. Pointer-shaped arguments are silent.
+	_ = sink(int(now))
+	_ = sink(l)
+
+	// Exempt: everything inside panic arguments.
+	if now == ^uint64(0) {
+		panic(fmt.Sprintf("link: impossible cycle %d", now))
+	}
+
+	_ = l.val()
+}
+
+// val boxes its concrete result into an interface at the return.
+func (l *Link) val() any {
+	return len(l.buf)
+}
+
+// coldSetup allocates freely: no tick root reaches it.
+func coldSetup(n int) []int {
+	out := make([]int, n)
+	return out
+}

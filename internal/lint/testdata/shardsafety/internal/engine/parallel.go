@@ -1,0 +1,38 @@
+// Package engine is the shardsafety fixture's driver: the two phase roots
+// whose shard parameters seed the derivedness analysis.
+package engine
+
+import "gpunoc/internal/noc"
+
+// dropCount exists to be written from a phase task — the escape finding
+// (and a purity finding, since it is package-level mutable state).
+var dropCount int
+
+// GPU owns the fixture components.
+type GPU struct {
+	sms []int
+	net *noc.Network
+}
+
+// parEngine shards the fixture tick.
+type parEngine struct {
+	g  *GPU
+	nG int
+}
+
+// phaseG is the per-GPC phase root: gpc is shard-derived by contract.
+func (pe *parEngine) phaseG(gpc int) {
+	pe.g.sms[gpc] = 1
+	pe.g.sms[3] = 2
+	w := func() { pe.g.sms[gpc] = 9 }
+	w()
+	pe.g.net.DrainReplies(gpc)
+	pe.g.net.TickGPCShard(0, gpc)
+	pe.g.net.TickOther(5)
+	dropCount++
+}
+
+// phaseP is the per-MC-group phase root; its body is clean.
+func (pe *parEngine) phaseP(m int) {
+	pe.g.sms[m] = 0
+}

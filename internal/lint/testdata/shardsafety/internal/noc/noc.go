@@ -1,0 +1,47 @@
+// Package noc is the shardsafety fixture's fabric: a Network with owned
+// per-GPC collections and the xbox/rbox hand-off boxes, containing both the
+// sanctioned shapes (which must stay silent) and deliberate violations.
+package noc
+
+import "gpunoc/internal/packet"
+
+// Network is the fixture fabric.
+type Network struct {
+	reqGPC []int
+	sh     *shardState
+}
+
+type shardState struct {
+	xbox [][]int
+	rbox [][]int
+}
+
+// DrainReplies is sanctioned: it may loop plainly over the boxes owned by
+// gpc, draining every source shard.
+func (n *Network) DrainReplies(gpc int) {
+	for m := range n.sh.rbox {
+		n.sh.rbox[m][gpc] = 0
+	}
+}
+
+// TickGPCShard ticks gpc's slice of the fabric. The derived index is clean;
+// the literal index, the un-sanctioned hand-off touch, and the coordinator
+// field write are findings.
+func (n *Network) TickGPCShard(now uint64, gpc int) {
+	n.reqGPC[gpc] = int(now)
+	n.reqGPC[0]++
+	n.sh.xbox[gpc][0] = 5
+	n.sh = nil
+}
+
+// TickOther receives its index from a call site that passes a constant, so
+// the parameter is not shard-derived and the indexing inside is a finding.
+func (n *Network) TickOther(g int) {
+	n.reqGPC[g] = 3
+}
+
+// Route indexes by packet fields: a packet belongs to its owner shard, so
+// this is clean.
+func (n *Network) Route(now uint64, p *packet.Packet) {
+	n.reqGPC[p.Slice] = 2
+}

@@ -1,0 +1,12 @@
+// Package packet is the shardsafety fixture's packet type: values of this
+// type make derived routing indices.
+package packet
+
+// Packet is one message; its routing fields are shard-derived by contract.
+type Packet struct {
+	Slice int
+	Tag   Tag
+}
+
+// Tag routes replies back to the issuing SM.
+type Tag struct{ SM int }

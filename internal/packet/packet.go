@@ -43,6 +43,7 @@ func (k Kind) String() string {
 	case AtomicReply:
 		return "ATOMACK"
 	default:
+		//lint:allow hotalloc debug-only default arm for an unknown kind
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
@@ -117,6 +118,7 @@ func ReplyKind(k Kind) (Kind, error) {
 	case AtomicReq:
 		return AtomicReply, nil
 	default:
+		//lint:allow hotalloc error path, never taken by a valid request
 		return 0, fmt.Errorf("packet: %v is not a request kind", k)
 	}
 }

@@ -294,6 +294,7 @@ func (s *SM) step(now uint64, r *resident) {
 				continue
 			}
 			s.nextPktID++
+			//lint:allow hotalloc one request packet per memory instruction; packet pooling is future work
 			s.pending.Push(&packet.Packet{
 				ID:       s.nextPktID,
 				Kind:     kind,

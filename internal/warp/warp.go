@@ -37,9 +37,11 @@ type MemOp struct {
 // This is the number of NoC request packets the op generates.
 func Coalesce(op MemOp, simtWidth, lineBytes int) ([]uint64, error) {
 	if simtWidth <= 0 {
+		//lint:allow hotalloc error path, config is validated before ticking
 		return nil, fmt.Errorf("warp: non-positive SIMT width %d", simtWidth)
 	}
 	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		//lint:allow hotalloc error path, config is validated before ticking
 		return nil, fmt.Errorf("warp: line size %d not a positive power of two", lineBytes)
 	}
 	lanes := op.Lanes
@@ -49,15 +51,18 @@ func Coalesce(op MemOp, simtWidth, lineBytes int) ([]uint64, error) {
 	case lanes == 0:
 		lanes = simtWidth
 	case lanes < 0 || lanes > simtWidth:
+		//lint:allow hotalloc error path, ops are validated at construction
 		return nil, fmt.Errorf("warp: %d active lanes out of range for SIMT width %d", lanes, simtWidth)
 	}
 	mask := ^uint64(lineBytes - 1)
+	//lint:allow hotalloc per-instruction coalescing scratch; buffer reuse needs an API change
 	seen := make(map[uint64]struct{}, lanes)
 	var lines []uint64
 	for lane := 0; lane < lanes; lane++ {
 		la := (op.Base + uint64(lane)*op.StrideBytes) & mask
 		if _, ok := seen[la]; !ok {
 			seen[la] = struct{}{}
+			//lint:allow hotalloc per-instruction result slice; buffer reuse needs an API change
 			lines = append(lines, la)
 		}
 	}
@@ -80,6 +85,7 @@ func CoalescedOp(base uint64, write bool) MemOp {
 // which signals with 0, 8, 16, or 32 unique requests per warp.
 func PartialOp(base uint64, write bool, lineBytes, uniqueLines, simtWidth int) (MemOp, error) {
 	if uniqueLines < 0 || uniqueLines > simtWidth {
+		//lint:allow hotalloc error path, experiment specs are validated up front
 		return MemOp{}, fmt.Errorf("warp: uniqueLines %d out of [0, %d]", uniqueLines, simtWidth)
 	}
 	lanes := uniqueLines
