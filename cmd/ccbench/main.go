@@ -11,7 +11,7 @@
 //
 //	ccbench [-config volta|small] [-scale quick|full] [-seed N]
 //	        [-only fig10,table2,...] [-parallel N] [-engine-workers N]
-//	        [-check] [-csv DIR] [-metrics DIR]
+//	        [-check] [-csv DIR] [-metrics DIR] [-telemetry DIR]
 //	ccbench -list
 //
 // The default suite seed is 5, matching every command line and number in
@@ -32,6 +32,14 @@
 // setting, because each experiment owns a private registry and snapshots
 // are sorted by metric name.
 //
+// -telemetry DIR attaches a windowed telemetry sampler (with a paper-rate
+// covert-channel detector watching) to every experiment and writes one
+// <id>.windows.jsonl and <id>.events.jsonl per experiment into DIR. Like
+// -metrics, the streams are byte-identical across runs and at any -parallel
+// setting; CI diffs them to prove it. Output directories are probed for
+// writability up front — a directory that cannot be created or written fails
+// fast with exit status 2 before any simulation runs.
+//
 // The report goes to stdout; a per-experiment timing/cycles summary goes to
 // stderr (wall times vary run to run, so they are kept out of the
 // deterministic stream).
@@ -47,7 +55,25 @@ import (
 
 	"gpunoc/internal/config"
 	"gpunoc/internal/experiments"
+	"gpunoc/internal/telemetry"
 )
+
+// ensureWritableDir creates dir if missing and proves it is writable by
+// creating and removing a probe file, so a bad output directory fails fast
+// (exit 2) before hours of simulation, not after.
+func ensureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	probe := filepath.Join(dir, ".writable")
+	if err := os.WriteFile(probe, nil, 0o644); err != nil {
+		return fmt.Errorf("output directory %s is not writable: %w", dir, err)
+	}
+	if err := os.Remove(probe); err != nil {
+		return fmt.Errorf("output directory %s: removing probe file: %w", dir, err)
+	}
+	return nil
+}
 
 func main() {
 	cfgName := flag.String("config", "volta", "GPU configuration: volta or small")
@@ -56,6 +82,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments (see -list)")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into (created if missing)")
 	metricsDir := flag.String("metrics", "", "directory to write per-experiment probe metrics (JSON+CSV) into (created if missing)")
+	telemetryDir := flag.String("telemetry", "", "directory to write per-experiment telemetry window/event JSONL streams into (created if missing)")
 	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
 	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers per simulated GPU (0 = sequential: the experiment pool already fills the machine)")
 	check := flag.Bool("check", false, "also assert each experiment's paper-shape Check")
@@ -129,16 +156,17 @@ func main() {
 		}
 	}
 
-	for _, dir := range []string{*csvDir, *metricsDir} {
+	for _, dir := range []string{*csvDir, *metricsDir, *telemetryDir} {
 		if dir == "" {
 			continue
 		}
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: creating %s: %v\n", dir, err)
+		if err := ensureWritableDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
 			os.Exit(2)
 		}
 	}
 	opt.Metrics = *metricsDir != ""
+	opt.Telemetry = *telemetryDir != ""
 
 	runner := experiments.Runner{
 		Parallel: *parallel,
@@ -181,6 +209,28 @@ func main() {
 			}
 			if err := os.WriteFile(base+".metrics.csv", []byte(res.Metrics.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "ccbench: writing %s.metrics.csv: %v\n", base, err)
+				failed = true
+			}
+		}
+		if *telemetryDir != "" {
+			base := filepath.Join(*telemetryDir, res.Experiment.ID)
+			var wb, eb strings.Builder
+			if err := telemetry.WriteWindowsJSONL(&wb, res.TelemetryWindows); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: encoding windows for %s: %v\n", res.Experiment.ID, err)
+				failed = true
+				continue
+			}
+			if err := telemetry.WriteEventsJSONL(&eb, res.TelemetryEvents); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: encoding events for %s: %v\n", res.Experiment.ID, err)
+				failed = true
+				continue
+			}
+			if err := os.WriteFile(base+".windows.jsonl", []byte(wb.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: writing %s.windows.jsonl: %v\n", base, err)
+				failed = true
+			}
+			if err := os.WriteFile(base+".events.jsonl", []byte(eb.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: writing %s.events.jsonl: %v\n", base, err)
 				failed = true
 			}
 		}

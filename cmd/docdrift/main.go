@@ -9,7 +9,10 @@
 //     points at a path that does not exist;
 //   - the "What CI holds byte-identical" table in docs/DETERMINISM.md fails
 //     to mention a worker count that the lockstep determinism test
-//     (internal/engine/determinism_test.go) actually runs.
+//     (internal/engine/determinism_test.go) actually runs;
+//   - EXPERIMENTS.md never mentions the id of an experiment that is
+//     registered in internal/experiments — a new Fig*/Table* that was never
+//     documented.
 //
 // CI runs it in the lint job:
 //
@@ -26,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"gpunoc/internal/experiments"
 	"gpunoc/internal/lint"
 )
 
@@ -44,6 +48,7 @@ func main() {
 	checkPackageList(root, report)
 	checkLinks(root, report)
 	checkWorkerCounts(root, report)
+	checkExperimentIDs(root, report)
 
 	if len(findings) > 0 {
 		for _, f := range findings {
@@ -191,6 +196,28 @@ func checkWorkerCounts(root string, report func(string, ...any)) {
 		if !token.MatchString(section) {
 			report("%s runs the lockstep comparison at %s workers, but the %q table in %s never mentions that count",
 				lockstepSrc, c, ciTableHead, detDoc)
+		}
+	}
+}
+
+const expDoc = "EXPERIMENTS.md"
+
+// checkExperimentIDs requires EXPERIMENTS.md to mention every
+// experiment id registered in internal/experiments, so a new artifact
+// cannot land undocumented. Ids must appear as whole hyphenated tokens:
+// "fig1" does not count as a mention of "fig1" inside "fig10", and
+// "noise-sweep" does not satisfy "noise".
+func checkExperimentIDs(root string, report func(string, ...any)) {
+	doc, err := os.ReadFile(filepath.Join(root, expDoc))
+	if err != nil {
+		report("reading %s: %v", expDoc, err)
+		return
+	}
+	text := string(doc)
+	for _, e := range experiments.All() {
+		token := regexp.MustCompile(`(^|[^a-z0-9-])` + regexp.QuoteMeta(e.ID) + `([^a-z0-9-]|$)`)
+		if !token.MatchString(text) {
+			report("experiment %q is registered in internal/experiments but never mentioned in %s", e.ID, expDoc)
 		}
 	}
 }

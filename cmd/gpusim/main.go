@@ -7,7 +7,7 @@
 //
 //	gpusim [-config volta|small] [-arb rr|crr|srr|age] [-sms 0,1] \
 //	       [-ops 20] [-warps 4] [-read] [-seed N] [-engine-workers N] \
-//	       [-trace out.json]
+//	       [-trace out.json] [-watch N]
 //
 // -trace writes a Chrome trace-event JSON file of the run: one track per
 // instrumented NoC link (spans are packets occupying the channel, from
@@ -15,10 +15,16 @@
 // Open it at https://ui.perfetto.dev or chrome://tracing; timestamps are
 // simulated cycles, not microseconds.
 //
+// -watch N prints one human-readable line per N-cycle telemetry window to
+// stderr — the window's bounds and every NoC link's occupancy rate — while
+// the run executes. It is the interactive face of internal/telemetry's
+// windowed sampler; like -trace it implies probe instrumentation. Windows
+// with no link activity are not printed.
+//
 // -engine-workers selects the engine's sharded parallel tick loop (0, the
 // default, is GOMAXPROCS-aware; results are identical at every setting).
-// Tracing implies probe instrumentation, so -trace runs always use the
-// sequential engine regardless of this flag.
+// Tracing and watching imply probe instrumentation, so -trace and -watch
+// runs always use the sequential engine regardless of this flag.
 package main
 
 import (
@@ -32,11 +38,30 @@ import (
 	"gpunoc/internal/device"
 	"gpunoc/internal/engine"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/telemetry"
 )
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "gpusim: %v\n", err)
 	os.Exit(1)
+}
+
+// watchPrinter is the -watch Watcher: one stderr line per window that saw
+// any link activity, occupancy rates in sorted link order.
+type watchPrinter struct{}
+
+func (watchPrinter) ObserveWindow(w telemetry.Window) {
+	names := telemetry.SortedOccNames(w)
+	if len(names) == 0 {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "watch [%d,%d)", w.Start, w.End)
+	for _, name := range names {
+		short := strings.TrimSuffix(strings.TrimPrefix(name, "noc/"), "/occupancy")
+		fmt.Fprintf(&b, " %s=%.2f", short, w.Occ[name].Rate)
+	}
+	fmt.Fprintln(os.Stderr, b.String())
 }
 
 func main() {
@@ -49,6 +74,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers (0 = GOMAXPROCS-aware; ignored with -trace)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible) to this path")
+	watch := flag.Uint64("watch", 0, "print one NoC occupancy line per N-cycle telemetry window to stderr (0 = off)")
 	flag.Parse()
 
 	var cfg config.Config
@@ -87,6 +113,12 @@ func main() {
 	if *tracePath != "" {
 		cfg.Probes = probe.NewRegistry()
 		cfg.Probes.EnableTrace(0)
+	}
+	if *watch > 0 {
+		if cfg.Probes == nil {
+			cfg.Probes = probe.NewRegistry()
+		}
+		cfg.Telemetry = telemetry.NewSampler(*watch, watchPrinter{})
 	}
 
 	g, err := engine.New(cfg)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"gpunoc/internal/probe"
+	"gpunoc/internal/telemetry"
 )
 
 // ArbPolicy selects the arbitration algorithm used by NoC muxes (§6).
@@ -200,6 +201,18 @@ type Config struct {
 	// the simulation output is byte-identical either way. Like Meter it
 	// never influences simulation behavior and is ignored by Validate.
 	Probes *probe.Registry
+
+	// Telemetry, when non-nil, is the windowed-aggregation sampler the
+	// engine steps once per simulated cycle (and across idle fast-forward
+	// jumps), turning Probes snapshots into the per-window stream
+	// internal/telemetry documents. Copies of the Config share the pointer,
+	// so the window timeline is continuous across every engine instance
+	// built from one configuration. Requires Probes to be set — engine.New
+	// rejects a sampler with no registry to aggregate — and therefore
+	// inherits the probe contract with the parallel engine (EngineWorkers
+	// clamps to 1). Like Probes it never influences simulation behavior and
+	// is ignored by Validate.
+	Telemetry *telemetry.Sampler
 }
 
 // CycleMeter is a concurrency-safe counter of simulated engine cycles. The

@@ -20,6 +20,7 @@ import (
 	"gpunoc/internal/sched"
 	"gpunoc/internal/sm"
 	"gpunoc/internal/tbsched"
+	"gpunoc/internal/telemetry"
 )
 
 // BlockPlacement records where one block of a launched kernel landed.
@@ -85,6 +86,12 @@ type GPU struct {
 	schedCycles *probe.Counter // cycles actually stepped (not fast-forwarded)
 	smTicks     *probe.Counter // SM Tick calls under the activity scheduler
 	ffwdCycles  *probe.Counter // cycles skipped by RunFor's idle fast-forward
+
+	// tel is cached from the configuration so the run loops pay a single
+	// nil check per cycle when telemetry is off. The sampler is stepped
+	// outside step() — the hot-allocation lint root — because emitting a
+	// window snapshots the registry, which allocates.
+	tel *telemetry.Sampler
 }
 
 // New builds a GPU for cfg. The configuration is copied; later mutations of
@@ -131,6 +138,12 @@ func New(cfg config.Config) (*GPU, error) {
 		// wakers, rewired per GPC) with per-shard ones; see parallel.go.
 		g.smSet = nil
 		g.par = newParEngine(g, g.workers)
+	}
+	if g.cfg.Telemetry != nil {
+		if g.cfg.Probes == nil {
+			return nil, fmt.Errorf("engine: config carries a telemetry sampler but no probe registry to aggregate (set Config.Probes)")
+		}
+		g.tel = g.cfg.Telemetry
 	}
 	if g.cfg.Probes != nil {
 		if tr := g.cfg.Probes.Tracer(); tr != nil {
@@ -312,6 +325,11 @@ func (g *GPU) updateKernels() {
 // cycles are skipped in one jump: nothing can change state until the next
 // Launch, and every per-cycle observable (clock registers, probe snapshots)
 // is a pure function of the cycle number.
+//
+// The telemetry sampler is stepped here rather than inside step() so quiet
+// stretches keep their one-jump fast path: the registry cannot change while
+// the device is parked, so handing the sampler the whole skipped span at
+// once emits the same windows stepping would have.
 func (g *GPU) RunFor(n uint64) {
 	for i := uint64(0); i < n; i++ {
 		if g.quiet() {
@@ -320,9 +338,15 @@ func (g *GPU) RunFor(n uint64) {
 			if g.ffwdCycles != nil {
 				g.ffwdCycles.Add(skipped)
 			}
+			if g.tel != nil {
+				g.tel.Step(skipped, g.cfg.Probes)
+			}
 			break
 		}
 		g.step()
+		if g.tel != nil {
+			g.tel.Step(1, g.cfg.Probes)
+		}
 	}
 	g.cfg.Meter.Add(n)
 }
@@ -337,6 +361,9 @@ func (g *GPU) RunUntil(cond func() bool, budget uint64) bool {
 			return true
 		}
 		g.step()
+		if g.tel != nil {
+			g.tel.Step(1, g.cfg.Probes)
+		}
 		ran++
 	}
 	return cond()

@@ -66,6 +66,12 @@ type Options struct {
 	// finishes. Instrumentation never influences simulation results, so
 	// figures are identical with and without it.
 	Metrics bool
+	// Telemetry attaches a windowed telemetry sampler (DefaultWindowCycles,
+	// with a paper-rate detector watching) to each experiment's Config copy,
+	// creating a probe registry if Metrics did not already; the Runner
+	// collects the stream into Result.TelemetryWindows/TelemetryEvents.
+	// Like Metrics, it never influences simulation results.
+	Telemetry bool
 }
 
 func (o Options) seed() int64 {

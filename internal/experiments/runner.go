@@ -17,6 +17,7 @@ import (
 
 	"gpunoc/internal/config"
 	"gpunoc/internal/probe"
+	"gpunoc/internal/telemetry"
 )
 
 // Result is the structured outcome of one experiment run.
@@ -42,6 +43,17 @@ type Result struct {
 	// engine instances; the snapshot is deterministic at any Parallel
 	// setting because each experiment owns a private registry.
 	Metrics probe.Snapshot
+	// TelemetryWindows is the windowed telemetry stream of the experiment's
+	// engines and TelemetryEvents the accompanying detector events (empty
+	// unless Options.Telemetry was set). Both are deterministic at any
+	// Parallel setting: each experiment owns a private sampler fed only by
+	// the engines it builds. An experiment that attaches its own sampler to
+	// a Config copy (the detection experiments do) bypasses the
+	// runner-level stream for those runs.
+	TelemetryWindows []telemetry.Window
+	// TelemetryEvents holds the runner-level detector's events; see
+	// TelemetryWindows.
+	TelemetryEvents []telemetry.Event
 }
 
 // Runner fans experiments out over a bounded worker pool. The zero value
@@ -134,6 +146,16 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 	if r.Options.Metrics {
 		c.Probes = probe.NewRegistry()
 	}
+	var telRec *telemetry.Recorder
+	var telDet *telemetry.Detector
+	if r.Options.Telemetry {
+		if c.Probes == nil {
+			c.Probes = probe.NewRegistry()
+		}
+		telRec = &telemetry.Recorder{}
+		telDet = telemetry.NewDetector(telemetry.DetectorConfig{})
+		c.Telemetry = telemetry.NewSampler(0, telRec, telDet)
+	}
 
 	opt := r.Options
 	opt.Seed = seed
@@ -155,6 +177,10 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 	}
 	if r.Options.Metrics {
 		res.Metrics = c.Probes.Snapshot(c.Meter.Load())
+	}
+	if r.Options.Telemetry {
+		res.TelemetryWindows = telRec.Windows()
+		res.TelemetryEvents = telDet.Events()
 	}
 	return res
 }

@@ -67,7 +67,7 @@ func TestDefaultRegistryCoversAllArtifacts(t *testing.T) {
 		"fig10", "fig11", "fig13", "fig14", "fig15", "srr-defeat",
 		"srr-tradeoff", "mps", "noise", "ablation-warps", "ablation-slot",
 		"ablation-speedup", "clock-fuzz", "side-channel", "table2",
-		"noise-sweep", "coded-vs-uncoded",
+		"noise-sweep", "coded-vs-uncoded", "detect-latency", "detector-roc",
 	}
 	got := defaultRegistry.IDs()
 	if len(got) != len(want) {

@@ -219,6 +219,7 @@ func engineAndBelow() []string {
 		"internal/sm",
 		"internal/stats",
 		"internal/tbsched",
+		"internal/telemetry",
 		"internal/warp",
 	}
 }
@@ -253,10 +254,15 @@ func DefaultRules() *Rules {
 				"internal/stats":  {},
 				"internal/warp":   {},
 
-				// Instrumentation: probe sits between stats and config so
-				// every component a Config reaches can register metrics.
-				"internal/probe":  {"internal/stats"},
-				"internal/config": {"internal/probe"},
+				// Instrumentation: stats < probe < telemetry < config.
+				// probe sits between stats and config so every component a
+				// Config reaches can register metrics; telemetry aggregates
+				// probe snapshots into windows and sits just below config so
+				// a Sampler can travel inside a Config the way the Registry
+				// does.
+				"internal/probe":     {"internal/stats"},
+				"internal/telemetry": {"internal/probe", "internal/stats"},
+				"internal/config":    {"internal/probe", "internal/telemetry"},
 
 				// Substrate: config/packet only, plus documented edges
 				// (probe is reachable from everything holding a Config).
@@ -295,7 +301,7 @@ func DefaultRules() *Rules {
 					"internal/clockreg", "internal/config", "internal/device",
 					"internal/mem", "internal/noc", "internal/packet",
 					"internal/probe", "internal/sched", "internal/sm",
-					"internal/tbsched",
+					"internal/tbsched", "internal/telemetry",
 				},
 
 				// The attack, prior-work channels, and reverse engineering.
@@ -313,7 +319,7 @@ func DefaultRules() *Rules {
 					"internal/baseline", "internal/config", "internal/core",
 					"internal/device", "internal/engine", "internal/noise",
 					"internal/probe", "internal/reveng", "internal/stats",
-					"internal/warp",
+					"internal/telemetry", "internal/warp",
 				},
 
 				// Tooling: stdlib only, outside the simulator entirely.

@@ -1,0 +1,98 @@
+// Coverage for the two paths the telemetry detector leans on hardest: the
+// trace ring's wraparound edges and the Snapshot.Find* miss behavior.
+
+package probe
+
+import "testing"
+
+// TestTraceWraparoundEdges walks the ring through its boundary states: an
+// exactly-full ring (no wrap yet), the first overwrite, and a wrap position
+// in the middle of the ring — checking order, length, and drop count at each.
+func TestTraceWraparoundEdges(t *testing.T) {
+	tr := newTrace(4)
+	id := tr.Track("t")
+
+	for i := uint64(0); i < 4; i++ {
+		tr.Instant(id, "e", i)
+	}
+	if got := tr.Events(); len(got) != 4 || got[0].TS != 0 || got[3].TS != 3 {
+		t.Fatalf("exactly-full ring: events %v", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("exactly-full ring dropped %d, want 0", tr.Dropped())
+	}
+
+	// One more event overwrites the oldest: order must start at TS=1.
+	tr.Instant(id, "e", 4)
+	ev := tr.Events()
+	if len(ev) != 4 || tr.Dropped() != 1 {
+		t.Fatalf("first overwrite: %d events, %d dropped", len(ev), tr.Dropped())
+	}
+	for i, e := range ev {
+		if want := uint64(1 + i); e.TS != want {
+			t.Fatalf("after first overwrite, event %d has ts %d, want %d", i, e.TS, want)
+		}
+	}
+
+	// Two more land the write cursor mid-ring; order must still be oldest
+	// first across the seam.
+	tr.Instant(id, "e", 5)
+	tr.Instant(id, "e", 6)
+	ev = tr.Events()
+	if len(ev) != 4 || tr.Dropped() != 3 {
+		t.Fatalf("mid-ring cursor: %d events, %d dropped", len(ev), tr.Dropped())
+	}
+	for i, e := range ev {
+		if want := uint64(3 + i); e.TS != want {
+			t.Fatalf("mid-ring cursor, event %d has ts %d, want %d", i, e.TS, want)
+		}
+	}
+
+	// Several full revolutions later the invariants still hold.
+	for i := uint64(7); i < 7+40; i++ {
+		tr.Instant(id, "e", i)
+	}
+	ev = tr.Events()
+	if len(ev) != 4 || tr.Dropped() != 43 {
+		t.Fatalf("after revolutions: %d events, %d dropped", len(ev), tr.Dropped())
+	}
+	if ev[0].TS != 43 || ev[3].TS != 46 {
+		t.Fatalf("after revolutions: window [%d, %d], want [43, 46]", ev[0].TS, ev[3].TS)
+	}
+}
+
+// TestSnapshotFindMisses pins the miss contract of every Find* helper: a
+// name that was never registered returns the zero stat and ok=false, on
+// both a populated snapshot and the empty snapshot of a nil registry.
+func TestSnapshotFindMisses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("noc/l0/in0/grants").Add(3)
+	r.Gauge("noc/l0/queue_depth").Set(2)
+	r.Hist("noc/l0/queue_wait").Observe(10)
+	r.Occupancy("noc/l0/occupancy", 4).AddBusy(8)
+
+	for name, s := range map[string]Snapshot{
+		"populated": r.Snapshot(100),
+		"nil":       (*Registry)(nil).Snapshot(100),
+	} {
+		if c, ok := s.FindCounter("noc/l1/in0/grants"); ok || c != (CounterStat{}) {
+			t.Errorf("%s: FindCounter miss = %+v, %v", name, c, ok)
+		}
+		if g, ok := s.FindGauge("noc/l1/queue_depth"); ok || g != (GaugeStat{}) {
+			t.Errorf("%s: FindGauge miss = %+v, %v", name, g, ok)
+		}
+		if h, ok := s.FindHist("noc/l1/queue_wait"); ok || h.Name != "" || h.Sum != 0 {
+			t.Errorf("%s: FindHist miss = %+v, %v", name, h, ok)
+		}
+		if o, ok := s.FindOccupancy("noc/l1/occupancy"); ok || o != (OccStat{}) {
+			t.Errorf("%s: FindOccupancy miss = %+v, %v", name, o, ok)
+		}
+	}
+
+	// The hits still work, and carry the Units capacity telemetry
+	// normalizes window rates with.
+	s := r.Snapshot(100)
+	if o, ok := s.FindOccupancy("noc/l0/occupancy"); !ok || o.Busy != 8 || o.Units != 4 {
+		t.Fatalf("FindOccupancy hit = %+v, %v (want busy 8, units 4)", o, ok)
+	}
+}

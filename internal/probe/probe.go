@@ -379,10 +379,13 @@ type HistStat struct {
 	Dist stats.Dist `json:"dist"`
 }
 
-// OccStat is one occupancy tracker in a snapshot.
+// OccStat is one occupancy tracker in a snapshot. Units is the tracker's
+// busy-units-per-cycle capacity, so a consumer diffing two snapshots can
+// normalize the Busy delta over any cycle span: rate = ΔBusy/(Units·Δcycles).
 type OccStat struct {
 	Name  string  `json:"name"`
 	Busy  uint64  `json:"busy_units"`
+	Units uint64  `json:"units_per_cycle"`
 	Value float64 `json:"value"`
 }
 
@@ -418,7 +421,7 @@ func (r *Registry) Snapshot(cycles uint64) Snapshot {
 	}
 	for _, name := range sortedKeys(r.occs) {
 		o := r.occs[name]
-		s.Occupancy = append(s.Occupancy, OccStat{Name: name, Busy: o.Busy(), Value: o.Value(cycles)})
+		s.Occupancy = append(s.Occupancy, OccStat{Name: name, Busy: o.Busy(), Units: o.unitsPerCyc, Value: o.Value(cycles)})
 	}
 	return s
 }

@@ -1,0 +1,253 @@
+// The covert-channel detector: an online Watcher that scores each link's
+// windowed occupancy series for the slot-paced signature the paper's channel
+// leaves on the NoC. The sender serializes symbols into fixed timing slots
+// of T cycles, so a contended link's utilization flips between its loaded
+// and idle levels with a period of small multiples of T — two slots for an
+// alternating payload, never less (a payload that repeats every single slot
+// is flat and carries no information). Over a short ring of recent windows
+// the detector computes the normalized autocorrelation of the rate series at
+// twice the window-quantized slot lag L = round(T/W) and scores the
+// alternating signature: r(2L) driven toward +1, the two-slot repeat.
+// Aperiodic background traffic (internal/noise's Random co-runner) stays
+// near 0 there. Scoring one signed lag rather than max |r| over a lag grid
+// is deliberate: a merely smooth series (a co-runner ramping up) has r
+// positive at every lag, small-sample flukes hit isolated negative lags, and
+// a fixed-gap streamer is itself a periodic process — only traffic that
+// repeats at the slot grid the way a modulated sender does holds r(2L) high.
+// A detection fires when the score holds at or above the
+// threshold for three consecutive windows AND the firing window's rate
+// deviates from its EWMA baseline — persistence filters one-ring sampling
+// flukes, the deviation gate keeps a periodic-looking but settled series
+// from re-firing forever — and the link then holds a one-ring cooldown.
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// Default detector tuning. The slot default is the paper-rate TPC channel's
+// calibrated slot period on the modeled V100 (core.DefaultSlot at the
+// default 4 delay iterations); the threshold/gates were chosen empirically
+// so noise-only runs at the intensities detector-roc sweeps score zero false
+// positives while the paper-rate channel is caught inside its first frames.
+const (
+	DefaultDetectorSlotCycles = 1600
+	DefaultDetectorThreshold  = 0.55
+	DefaultDetectorMinRate    = 0.01
+	DefaultDetectorMinSwing   = 0.04
+)
+
+// DetectorConfig tunes a Detector. Zero fields select the defaults above.
+type DetectorConfig struct {
+	// SlotCycles is the timing-slot period T the detector searches for.
+	// The lag grid is quantized to windows: L = max(1, round(T/W)).
+	SlotCycles uint64
+	// WindowCycles is the sampler window width W the detector will be fed;
+	// it must match the Sampler driving it for the lag grid to land on T.
+	WindowCycles uint64
+	// Threshold is the autocorrelation score at or above which a detection
+	// fires.
+	Threshold float64
+	// MinRate gates scoring: a link's ring must average at least this
+	// utilization, and a link first counts as active (for latency
+	// accounting) at the first window at or above it.
+	MinRate float64
+	// MinSwing gates scoring on the ring's standard deviation and doubles
+	// as the deviation-from-EWMA threshold on the firing window, so flat
+	// series — idle or steadily saturated — never score.
+	MinSwing float64
+}
+
+// Event is one cycle-stamped detection.
+type Event struct {
+	// Cycle is the end of the window that fired, on the sampler's
+	// cumulative clock; Window is that window's index.
+	Cycle  uint64 `json:"cycle"`
+	Window uint64 `json:"window"`
+	// Link is the occupancy metric that scored ("noc/<link>/occupancy").
+	Link  string  `json:"link"`
+	Score float64 `json:"score"`
+	// LagWindows is the lag the score was computed at: twice the
+	// window-quantized slot lag L (the alternating payload's repeat period).
+	LagWindows int     `json:"lag_windows"`
+	Rate       float64 `json:"rate"`
+	EWMA       float64 `json:"ewma"`
+	// Denies is the firing window's arbitration-deny delta on the link.
+	Denies uint64 `json:"denies"`
+	// SinceActive is Cycle minus the start of the window in which the link
+	// first reached MinRate — the detection latency relative to the channel
+	// becoming observable.
+	SinceActive uint64 `json:"since_active"`
+}
+
+// firingStreak is how many consecutive windows must clear the threshold
+// before a detection fires. The ring autocorrelation of a genuinely
+// slot-paced sender stays high for the whole transmission, while a
+// small-sample fluke (24-window rings estimate r with sd ≈ 0.2) decays as
+// the ring slides.
+const firingStreak = 3
+
+// linkState is the detector's per-link ring of recent window rates.
+type linkState struct {
+	ring        []float64
+	pos         int // next write index; once full, also the oldest sample
+	filled      int
+	active      bool
+	firstActive uint64
+	cooldown    int
+	streak      int // consecutive windows at or above the threshold
+}
+
+// Detector is a Watcher scoring every occupancy-tracked link online. It is
+// pure over the Window stream — it reads rates and EWMA baselines from the
+// windows themselves, never from sampler internals — so replaying recorded
+// windows through a fresh Detector (what detector-roc does to sweep
+// thresholds without re-simulating) reproduces the online behavior exactly.
+type Detector struct {
+	cfg    DetectorConfig
+	lag    int // slot period in windows
+	size   int // ring length: 6·lag, clamped to [12, 96]
+	links  map[string]*linkState
+	order  []string // sorted link names, the deterministic scan order
+	events []Event
+}
+
+// NewDetector returns a detector for cfg; zero fields take defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	if cfg.SlotCycles == 0 {
+		cfg.SlotCycles = DefaultDetectorSlotCycles
+	}
+	if cfg.WindowCycles == 0 {
+		cfg.WindowCycles = DefaultWindowCycles
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultDetectorThreshold
+	}
+	if cfg.MinRate == 0 {
+		cfg.MinRate = DefaultDetectorMinRate
+	}
+	if cfg.MinSwing == 0 {
+		cfg.MinSwing = DefaultDetectorMinSwing
+	}
+	lag := int((cfg.SlotCycles + cfg.WindowCycles/2) / cfg.WindowCycles)
+	if lag < 1 {
+		lag = 1
+	}
+	size := 6 * lag
+	if size < 12 {
+		size = 12
+	}
+	if size > 96 {
+		size = 96
+	}
+	return &Detector{cfg: cfg, lag: lag, size: size, links: map[string]*linkState{}}
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// Events returns every detection so far, in firing order.
+func (d *Detector) Events() []Event { return d.events }
+
+// ObserveWindow folds one window into every link's ring and scores the
+// links whose rings are full, in sorted-name order.
+func (d *Detector) ObserveWindow(w Window) {
+	grew := false
+	for name := range w.Occ {
+		if _, ok := d.links[name]; !ok {
+			d.links[name] = &linkState{ring: make([]float64, d.size)}
+			grew = true
+		}
+	}
+	if grew {
+		d.order = d.order[:0]
+		for name := range d.links {
+			d.order = append(d.order, name)
+		}
+		sort.Strings(d.order)
+	}
+	for _, name := range d.order {
+		st := d.links[name]
+		var rate, ewma float64
+		if ow, ok := w.Occ[name]; ok {
+			rate, ewma = ow.Rate, ow.EWMA
+		}
+		if !st.active && rate >= d.cfg.MinRate {
+			st.active = true
+			st.firstActive = w.Start
+		}
+		st.ring[st.pos] = rate
+		st.pos = (st.pos + 1) % d.size
+		if st.filled < d.size {
+			st.filled++
+		}
+		if st.cooldown > 0 {
+			st.cooldown--
+			continue
+		}
+		if st.filled < d.size {
+			continue
+		}
+		score, lag := d.score(st)
+		if score < d.cfg.Threshold || math.Abs(rate-ewma) < d.cfg.MinSwing {
+			st.streak = 0
+			continue
+		}
+		if st.streak++; st.streak < firingStreak {
+			continue
+		}
+		st.streak = 0
+		d.events = append(d.events, Event{
+			Cycle:       w.End,
+			Window:      w.Index,
+			Link:        name,
+			Score:       score,
+			LagWindows:  lag,
+			Rate:        rate,
+			EWMA:        ewma,
+			Denies:      linkDenies(w, name),
+			SinceActive: w.End - st.firstActive,
+		})
+		st.cooldown = d.size
+	}
+}
+
+// score computes r(2L) of the ring's mean-centered normalized
+// autocorrelation — the alternating-payload signature: a modulated sender's
+// utilization repeats every two slots, driving the two-slot-lag correlation
+// toward +1. The one-slot lag is deliberately not scored: a clean square
+// wave also anti-correlates at L, but measured channel traffic's within-slot
+// structure cancels r(L) toward 0 while leaving r(2L) strong, and a negative
+// r(L) on its own is the component small-sample flukes hit most. The score
+// is gated on mean ≥ MinRate and standard deviation ≥ MinSwing, and clamps
+// to 0 when a gate fails or the correlation is negative.
+func (d *Detector) score(st *linkState) (float64, int) {
+	n := d.size
+	at := func(i int) float64 { return st.ring[(st.pos+i)%n] }
+	var mean float64
+	for i := 0; i < n; i++ {
+		mean += at(i)
+	}
+	mean /= float64(n)
+	var ss float64
+	for i := 0; i < n; i++ {
+		dv := at(i) - mean
+		ss += dv * dv
+	}
+	if mean < d.cfg.MinRate || math.Sqrt(ss/float64(n)) < d.cfg.MinSwing {
+		return 0, d.lag
+	}
+	autocorr := func(lag int) float64 {
+		var num float64
+		for i := lag; i < n; i++ {
+			num += (at(i) - mean) * (at(i-lag) - mean)
+		}
+		return num / ss
+	}
+	repeat := autocorr(2 * d.lag)
+	if repeat < 0 {
+		return 0, 2 * d.lag
+	}
+	return repeat, 2 * d.lag
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// feed synthesizes a window stream for one link from a rate series, with
+// EWMA baselines computed the way the Sampler records them (pre-window).
+func feed(d *Detector, link string, rates []float64, windowCycles uint64) {
+	ewma := 0.0
+	for i, rate := range rates {
+		w := Window{
+			Index: uint64(i),
+			Start: uint64(i) * windowCycles,
+			End:   uint64(i+1) * windowCycles,
+		}
+		if rate != 0 || ewma >= ewmaFloor {
+			w.Occ = map[string]OccWindow{
+				link: {Busy: uint64(rate * float64(windowCycles)), Rate: rate, EWMA: ewma},
+			}
+		}
+		ewma += DefaultEWMAAlpha * (rate - ewma)
+		d.ObserveWindow(w)
+	}
+}
+
+// square produces n windows of a square wave alternating between hi and lo
+// every half-period of p windows — the footprint of an alternating payload
+// sent over timing slots one lag-grid period wide.
+func square(n, p int, hi, lo float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if (i/p)%2 == 0 {
+			out[i] = hi
+		} else {
+			out[i] = lo
+		}
+	}
+	return out
+}
+
+// lcg is a tiny deterministic generator for the aperiodic-noise series.
+func lcg(seed uint64) func() float64 {
+	s := seed
+	return func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>40) / float64(1<<24)
+	}
+}
+
+func newTestDetector(threshold float64) *Detector {
+	return NewDetector(DetectorConfig{
+		SlotCycles:   1600,
+		WindowCycles: 400, // lag = 4 windows, ring = 24
+		Threshold:    threshold,
+	})
+}
+
+// TestDetectorFiresOnSlotPacedSignal checks that a square wave at the slot
+// period is flagged once the ring fills, and that SinceActive points back at
+// the first active window.
+func TestDetectorFiresOnSlotPacedSignal(t *testing.T) {
+	d := newTestDetector(0)
+	if d.Config().Threshold != DefaultDetectorThreshold {
+		t.Fatalf("zero threshold did not default: %+v", d.Config())
+	}
+	// The wave flips every lag (4 windows), so its period is 2·lag: the
+	// autocorrelation at lag is ≈ −1 and at 2·lag ≈ +1.
+	feed(d, "noc/tpc0-req/occupancy", square(64, 4, 0.6, 0.05), 400)
+	evs := d.Events()
+	if len(evs) == 0 {
+		t.Fatal("slot-paced square wave not detected")
+	}
+	e := evs[0]
+	if e.Link != "noc/tpc0-req/occupancy" {
+		t.Errorf("event link = %q", e.Link)
+	}
+	if e.Score < DefaultDetectorThreshold {
+		t.Errorf("score %.3f below default threshold", e.Score)
+	}
+	// The ring needs 24 windows; activity starts at window 0, so the first
+	// event must land within a few windows of ring-fill.
+	if e.SinceActive > 30*400 {
+		t.Errorf("first detection %d cycles after activity, want ≤ %d", e.SinceActive, 30*400)
+	}
+	if e.Cycle != e.SinceActive {
+		t.Errorf("activity from window 0: cycle %d != since_active %d", e.Cycle, e.SinceActive)
+	}
+}
+
+// TestDetectorQuietOnAperiodicNoise pins the false-positive side: busy but
+// aperiodic traffic (what internal/noise streams look like per-window) must
+// not score at the default threshold.
+func TestDetectorQuietOnAperiodicNoise(t *testing.T) {
+	d := newTestDetector(0)
+	next := lcg(12345)
+	rates := make([]float64, 256)
+	for i := range rates {
+		rates[i] = 0.2 + 0.3*next()
+	}
+	feed(d, "noc/gpc0-req/occupancy", rates, 400)
+	if evs := d.Events(); len(evs) != 0 {
+		t.Fatalf("aperiodic noise fired %d event(s), first %+v", len(evs), evs[0])
+	}
+}
+
+// TestDetectorQuietOnFlatSeries pins the variance gate: an idle link and a
+// steadily saturated link both stay silent, however long they run.
+func TestDetectorQuietOnFlatSeries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{{"idle", 0}, {"saturated", 0.95}} {
+		d := newTestDetector(0)
+		rates := make([]float64, 128)
+		for i := range rates {
+			rates[i] = tc.rate
+		}
+		feed(d, "noc/l/occupancy", rates, 400)
+		if evs := d.Events(); len(evs) != 0 {
+			t.Errorf("%s series fired %d event(s)", tc.name, len(evs))
+		}
+	}
+}
+
+// TestDetectorCooldown checks that a persistent signal re-fires at most once
+// per ring length, not every window.
+func TestDetectorCooldown(t *testing.T) {
+	d := newTestDetector(0)
+	n := 24 + 4*24 // ring fill plus four cooldown spans
+	feed(d, "noc/l/occupancy", square(n, 4, 0.6, 0.05), 400)
+	evs := d.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	max := n/24 + 1
+	if len(evs) > max {
+		t.Fatalf("%d events over %d windows; cooldown should cap near %d", len(evs), n, max)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Window < evs[i-1].Window+24 {
+			t.Fatalf("events %d and %d closer than one ring: %d vs %d",
+				i-1, i, evs[i-1].Window, evs[i].Window)
+		}
+	}
+}
+
+// TestDetectorThresholdMonotone replays one recorded stream at rising
+// thresholds and requires the event count to be nonincreasing — the property
+// the detector-roc experiment's table is built on.
+func TestDetectorThresholdMonotone(t *testing.T) {
+	next := lcg(99)
+	rates := square(128, 4, 0.55, 0.1)
+	for i := range rates {
+		rates[i] += 0.05 * next() // periodic signal plus jitter
+	}
+	prev := -1
+	for _, th := range []float64{0.25, 0.4, 0.55, 0.7, 0.85, 0.99} {
+		d := newTestDetector(th)
+		feed(d, "noc/l/occupancy", rates, 400)
+		n := len(d.Events())
+		if prev >= 0 && n > prev {
+			t.Fatalf("threshold %.2f fired %d > previous %d", th, n, prev)
+		}
+		prev = n
+	}
+}
+
+// TestDetectorDenies checks that a firing window's arbitration-deny deltas
+// are attributed to the link that scored.
+func TestDetectorDenies(t *testing.T) {
+	d := newTestDetector(0)
+	link := "noc/tpc1-req/occupancy"
+	ewma := 0.0
+	rates := square(40, 4, 0.6, 0.05)
+	for i, rate := range rates {
+		w := Window{
+			Index: uint64(i), Start: uint64(i) * 400, End: uint64(i+1) * 400,
+			Occ: map[string]OccWindow{link: {Rate: rate, EWMA: ewma}},
+			Counters: map[string]uint64{
+				"noc/tpc1-req/in0/denies": 3,
+				"noc/tpc1-req/in1/denies": 4,
+				"noc/tpc1-req/in0/grants": 9,  // not a deny
+				"noc/gpc0-req/in0/denies": 50, // different link
+			},
+		}
+		ewma += DefaultEWMAAlpha * (rate - ewma)
+		d.ObserveWindow(w)
+	}
+	evs := d.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	if evs[0].Denies != 7 {
+		t.Fatalf("event denies = %d, want 7", evs[0].Denies)
+	}
+}

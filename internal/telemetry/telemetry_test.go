@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpunoc/internal/probe"
+)
+
+// TestSamplerWindowBoundaries drives a sampler cycle-by-cycle and checks that
+// windows cut exactly at multiples of W, carry the per-window deltas, and
+// that a trailing partial window is never emitted.
+func TestSamplerWindowBoundaries(t *testing.T) {
+	r := probe.NewRegistry()
+	c := r.Counter("x")
+	rec := &Recorder{}
+	s := NewSampler(10, rec)
+
+	for i := 0; i < 25; i++ {
+		c.Add(2)
+		s.Step(1, r)
+	}
+	ws := rec.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("25 cycles at W=10: want 2 windows, got %d", len(ws))
+	}
+	for i, w := range ws {
+		if w.Index != uint64(i) || w.Start != uint64(i)*10 || w.End != uint64(i+1)*10 {
+			t.Errorf("window %d: bad bounds %+v", i, w)
+		}
+		if d := w.Counters["x"]; d != 20 {
+			t.Errorf("window %d: counter delta = %d, want 20", i, d)
+		}
+	}
+}
+
+// TestSamplerFastForwardCrossing checks the idle-jump path: one Step spanning
+// several windows emits them all, with the first absorbing the whole delta
+// and the rest empty — exactly what stepping cycle-by-cycle produces when the
+// registry is quiet.
+func TestSamplerFastForwardCrossing(t *testing.T) {
+	r := probe.NewRegistry()
+	r.Counter("x").Add(7)
+	rec := &Recorder{}
+	s := NewSampler(10, rec)
+
+	s.Step(35, r)
+	ws := rec.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("jump of 35 at W=10: want 3 windows, got %d", len(ws))
+	}
+	if d := ws[0].Counters["x"]; d != 7 {
+		t.Errorf("first window delta = %d, want 7", d)
+	}
+	for i, w := range ws[1:] {
+		if len(w.Counters) != 0 {
+			t.Errorf("empty window %d has counters %v", i+1, w.Counters)
+		}
+	}
+	// The next single step lands in the partially elapsed 4th window.
+	s.Step(4, r)
+	if got := len(rec.Windows()); got != 3 {
+		t.Fatalf("mid-window step emitted a window: %d", got)
+	}
+	s.Step(1, r)
+	if got := len(rec.Windows()); got != 4 {
+		t.Fatalf("boundary step: want 4 windows, got %d", got)
+	}
+}
+
+// TestSamplerOccupancyEWMA checks rate normalization via OccStat.Units, the
+// pre-window EWMA baseline, its decay through quiet windows, and that the
+// entry drops out of the sparse encoding once the baseline decays away.
+func TestSamplerOccupancyEWMA(t *testing.T) {
+	r := probe.NewRegistry()
+	o := r.Occupancy("noc/l0/occupancy", 4)
+	rec := &Recorder{}
+	s := NewSampler(10, rec)
+
+	o.AddBusy(20) // 20/(4*10) = 0.5 utilization
+	s.Step(10, r)
+	w := rec.Windows()[0]
+	ow, ok := w.Occ["noc/l0/occupancy"]
+	if !ok {
+		t.Fatal("busy link missing from window")
+	}
+	if ow.Busy != 20 || ow.Rate != 0.5 || ow.EWMA != 0 {
+		t.Fatalf("window 0 occ = %+v, want busy 20 rate 0.5 ewma 0", ow)
+	}
+
+	s.Step(10, r) // quiet window: rate 0, baseline now 0.0625 pre-window
+	w = rec.Windows()[1]
+	ow, ok = w.Occ["noc/l0/occupancy"]
+	if !ok {
+		t.Fatal("decaying link missing from window 1")
+	}
+	if ow.Busy != 0 || ow.Rate != 0 || ow.EWMA != 0.0625 {
+		t.Fatalf("window 1 occ = %+v, want busy 0 rate 0 ewma 0.0625", ow)
+	}
+
+	// 0.0625 · 0.875^k < 1e-6 after k = 127 windows; well past that the
+	// entry must have left the sparse encoding.
+	s.Step(10*200, r)
+	last := rec.Windows()[len(rec.Windows())-1]
+	if _, ok := last.Occ["noc/l0/occupancy"]; ok {
+		t.Fatalf("decayed link still emitted after 200 quiet windows: %+v", last.Occ)
+	}
+}
+
+// TestSamplerSparseEncoding checks that unchanged metrics stay out of the
+// maps: a gauge that holds its value, a histogram with no new samples, and a
+// counter that never moves.
+func TestSamplerSparseEncoding(t *testing.T) {
+	r := probe.NewRegistry()
+	r.Counter("quiet")
+	g := r.Gauge("depth")
+	h := r.Hist("lat")
+	rec := &Recorder{}
+	s := NewSampler(10, rec)
+
+	g.Set(3)
+	h.Observe(100)
+	s.Step(10, r)
+	w := rec.Windows()[0]
+	if w.Gauges["depth"] != 3 {
+		t.Errorf("changed gauge missing: %v", w.Gauges)
+	}
+	if hd := w.Hists["lat"]; hd.Count != 1 || hd.Sum != 100 {
+		t.Errorf("hist delta = %+v, want {1 100}", hd)
+	}
+	if _, ok := w.Counters["quiet"]; ok {
+		t.Errorf("idle counter emitted: %v", w.Counters)
+	}
+
+	s.Step(10, r) // nothing changed
+	w = rec.Windows()[1]
+	if len(w.Counters) != 0 || len(w.Gauges) != 0 || len(w.Hists) != 0 {
+		t.Errorf("unchanged window not empty: %+v", w)
+	}
+}
+
+// TestSamplerNilOff pins the zero-value-off fast path: a nil sampler ignores
+// Step, and nil receivers report zero config.
+func TestSamplerNilOff(t *testing.T) {
+	var s *Sampler
+	s.Step(1000, probe.NewRegistry()) // must not panic
+	if s.WindowCycles() != 0 {
+		t.Error("nil sampler has a window width")
+	}
+}
+
+// TestWriteWindowsJSONLDeterministic pins the byte-determinism the CI diff
+// relies on: two encodings of the same windows are identical, one object per
+// line, and decode back to the source.
+func TestWriteWindowsJSONLDeterministic(t *testing.T) {
+	r := probe.NewRegistry()
+	c := r.Counter("noc/l0/in0/denies")
+	o := r.Occupancy("noc/l0/occupancy", 4)
+	rec := &Recorder{}
+	s := NewSampler(16, rec)
+	for i := 0; i < 64; i++ {
+		c.Add(uint64(i % 3))
+		o.AddBusy(uint64(i % 5))
+		s.Step(1, r)
+	}
+	var a, b bytes.Buffer
+	if err := WriteWindowsJSONL(&a, rec.Windows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteWindowsJSONL(&b, rec.Windows()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same windows differ")
+	}
+	lines := bytes.Split(bytes.TrimSuffix(a.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != len(rec.Windows()) {
+		t.Fatalf("%d lines for %d windows", len(lines), len(rec.Windows()))
+	}
+	var w Window
+	if err := json.Unmarshal(lines[0], &w); err != nil {
+		t.Fatalf("line 0 does not decode: %v", err)
+	}
+	if w.End != 16 {
+		t.Errorf("decoded window end = %d, want 16", w.End)
+	}
+}
+
+// TestSortedOccNames checks the deterministic iteration helper.
+func TestSortedOccNames(t *testing.T) {
+	w := Window{Occ: map[string]OccWindow{"b": {}, "a": {}, "c": {}}}
+	got := SortedOccNames(w)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedOccNames = %v", got)
+	}
+}
