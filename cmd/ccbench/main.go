@@ -12,7 +12,12 @@
 //	ccbench [-config volta|small] [-scale quick|full] [-seed N]
 //	        [-only fig10,table2,...] [-parallel N] [-engine-workers N]
 //	        [-check] [-csv DIR] [-metrics DIR] [-telemetry DIR]
+//	        [-gpus N] [-topology full|ring|nvswitch]
 //	ccbench -list
+//
+// -gpus and -topology shape the simulated multi-GPU mesh used by the
+// cross-GPU experiments (nvlink-remote-vs-local, nvlink-channel); on-die
+// experiments ignore them. -gpus 0 leaves each experiment's default (2).
 //
 // The default suite seed is 5, matching every command line and number in
 // docs/EXPERIMENTS.md, so a bare `ccbench` reproduces the documented
@@ -85,6 +90,8 @@ func main() {
 	telemetryDir := flag.String("telemetry", "", "directory to write per-experiment telemetry window/event JSONL streams into (created if missing)")
 	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
 	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers per simulated GPU (0 = sequential: the experiment pool already fills the machine)")
+	gpus := flag.Int("gpus", 0, "GPUs per simulated mesh for the cross-GPU experiments (0 = their default of 2)")
+	topology := flag.String("topology", "", "NVLink mesh topology: full, ring, or nvswitch (empty = config default)")
 	check := flag.Bool("check", false, "also assert each experiment's paper-shape Check")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
@@ -109,6 +116,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ccbench: unknown config %q\n", *cfgName)
 		os.Exit(2)
+	}
+
+	if *gpus < 0 {
+		fmt.Fprintf(os.Stderr, "ccbench: negative -gpus %d\n", *gpus)
+		os.Exit(2)
+	}
+	cfg.MeshGPUs = *gpus
+	if *topology != "" {
+		topo, err := config.ParseTopology(*topology)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.NVLink.Topology = topo
 	}
 
 	// Worker-count selection never affects results (the sharded engine is

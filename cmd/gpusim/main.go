@@ -7,7 +7,13 @@
 //
 //	gpusim [-config volta|small] [-arb rr|crr|srr|age] [-sms 0,1] \
 //	       [-ops 20] [-warps 4] [-read] [-seed N] [-engine-workers N] \
-//	       [-trace out.json] [-watch N]
+//	       [-trace out.json] [-watch N] [-gpus N] [-topology full|ring|nvswitch]
+//
+// -gpus N (N >= 2) builds an N-device NVLink mesh (internal/mesh) instead of
+// a single GPU and points the streamers on device 0 at a window owned by
+// device 1, so every access crosses the fabric; the report adds one line per
+// NVLink link with its packet/flit/queue statistics. -topology selects the
+// fabric wiring. Mesh runs do not support -trace or -watch.
 //
 // -trace writes a Chrome trace-event JSON file of the run: one track per
 // instrumented NoC link (spans are packets occupying the channel, from
@@ -37,6 +43,7 @@ import (
 	"gpunoc/internal/config"
 	"gpunoc/internal/device"
 	"gpunoc/internal/engine"
+	"gpunoc/internal/mesh"
 	"gpunoc/internal/probe"
 	"gpunoc/internal/telemetry"
 )
@@ -75,6 +82,8 @@ func main() {
 	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers (0 = GOMAXPROCS-aware; ignored with -trace)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible) to this path")
 	watch := flag.Uint64("watch", 0, "print one NoC occupancy line per N-cycle telemetry window to stderr (0 = off)")
+	gpus := flag.Int("gpus", 0, "build an N-GPU NVLink mesh and stream from device 0 into device 1's memory (0/1 = single GPU)")
+	topology := flag.String("topology", "", "NVLink mesh topology: full, ring, or nvswitch (empty = config default)")
 	flag.Parse()
 
 	var cfg config.Config
@@ -108,6 +117,21 @@ func main() {
 			fail(fmt.Errorf("bad SM id %q", tok))
 		}
 		targets[sm] = true
+	}
+
+	if *topology != "" {
+		topo, err := config.ParseTopology(*topology)
+		if err != nil {
+			fail(err)
+		}
+		cfg.NVLink.Topology = topo
+	}
+	if *gpus >= 2 {
+		if *tracePath != "" || *watch > 0 {
+			fail(fmt.Errorf("-trace and -watch are not supported with -gpus"))
+		}
+		runMesh(cfg, *gpus, targets, *warps, *ops, *read, *smsFlag)
+		return
 	}
 
 	if *tracePath != "" {
@@ -217,5 +241,100 @@ func main() {
 		}
 		fmt.Printf("  trace: %d events on %d tracks -> %s (open at ui.perfetto.dev)\n",
 			len(tr.Events()), len(tr.Tracks()), *tracePath)
+	}
+}
+
+// runMesh is the -gpus mode: an N-device NVLink mesh where the activated SMs
+// of device 0 stream into a window owned by device 1, so every memory op
+// crosses the fabric, followed by a per-link statistics report.
+func runMesh(cfg config.Config, gpus int, targets map[int]bool, warps, ops int, read bool, smsFlag string) {
+	m, err := mesh.New(cfg, gpus)
+	if err != nil {
+		fail(err)
+	}
+	defer m.Close()
+
+	const span = 8192
+	remoteBase := mesh.DevBase(1)
+	m.Preload(1, remoteBase, uint64(cfg.NumSMs()*warps)*span)
+
+	type result struct {
+		sm    int
+		start uint64
+		end   uint64
+	}
+	var results []*result
+	spec := device.KernelSpec{
+		Name:          "gpusim-mesh",
+		Blocks:        cfg.NumSMs(),
+		WarpsPerBlock: warps,
+		New: func(b, w int) device.Program {
+			r := &result{sm: -1}
+			results = append(results, r)
+			var inner device.Streamer
+			started := false
+			return device.StepFunc(func(ctx *device.Ctx) device.Op {
+				if !started {
+					started = true
+					if !targets[ctx.SMID] {
+						return device.Done()
+					}
+					r.sm = ctx.SMID
+					r.start = ctx.Clock64
+					inner = device.Streamer{
+						Base:        remoteBase + uint64(ctx.SMID*warps+w)*span,
+						LineBytes:   cfg.L2LineBytes,
+						Write:       !read,
+						Count:       ops,
+						Uncoalesced: true,
+						WrapBytes:   span / 2,
+					}
+				}
+				if r.sm < 0 {
+					return device.Done()
+				}
+				op := inner.Step(ctx)
+				if op.Kind == device.OpDone && r.end == 0 {
+					r.end = ctx.Clock64
+				}
+				return op
+			})
+		},
+	}
+	if _, err := m.Launch(0, spec); err != nil {
+		fail(err)
+	}
+	if err := m.RunKernels(100_000_000); err != nil {
+		fail(err)
+	}
+
+	kind := "write"
+	if read {
+		kind = "read"
+	}
+	topo := cfg.NVLink.WithDefaults().Topology
+	fmt.Printf("gpusim: %s mesh of %d GPUs (%s), %d remote %s ops x %d warps on device-0 SMs %v\n",
+		cfg.Name, gpus, topo, ops, kind, warps, smsFlag)
+	perSM := map[int]uint64{}
+	for _, r := range results {
+		if r.sm >= 0 && r.end > r.start {
+			if d := r.end - r.start; d > perSM[r.sm] {
+				perSM[r.sm] = d
+			}
+		}
+	}
+	for sm := 0; sm < cfg.NumSMs(); sm++ {
+		if d, ok := perSM[sm]; ok {
+			fmt.Printf("  SM%-3d TPC%-2d GPC%d: %8d cycles (%.2f us at %dMHz)\n",
+				sm, cfg.TPCOfSM(sm), cfg.GPCOfSM(sm), d,
+				cfg.CyclesToSeconds(d)*1e6, cfg.CoreClockMHz)
+		}
+	}
+	st := m.GPU(1).Partition().Stats()
+	fmt.Printf("  remote L2 (device 1): %d served, %d hits, %d misses\n", st.Served, st.Hits, st.Misses)
+	for _, l := range m.Links() {
+		s := l.Stats()
+		fmt.Printf("  %-24s %8d packets %10d flits  queue-wait %10d  max-queue %4d\n",
+			l.Name(), s.Packets, s.Flits, s.QueueWait, s.MaxQueueLen)
 	}
 }

@@ -106,6 +106,96 @@ type NoCConfig struct {
 	CRRHoldLimit int
 }
 
+// MeshTopology selects how the GPUs of a multi-device mesh (internal/mesh)
+// are wired together by NVLink links.
+type MeshTopology int
+
+const (
+	// TopoFullMesh wires every ordered device pair with a dedicated
+	// point-to-point link (the DGX-style fully-connected fabric for small
+	// device counts). This is the default.
+	TopoFullMesh MeshTopology = iota
+	// TopoRing wires device d to d+1 and d-1 (mod N) only; longer routes
+	// forward hop by hop in the shorter direction, ties clockwise.
+	TopoRing
+	// TopoNVSwitch routes every pair through a central switch: one ingress
+	// link per device into the switch and one arbitrated egress link per
+	// device out of it, adding SwitchLatency per traversal.
+	TopoNVSwitch
+)
+
+// String returns the flag/name spelling of the topology.
+func (t MeshTopology) String() string {
+	switch t {
+	case TopoFullMesh:
+		return "full"
+	case TopoRing:
+		return "ring"
+	case TopoNVSwitch:
+		return "nvswitch"
+	default:
+		return fmt.Sprintf("MeshTopology(%d)", int(t))
+	}
+}
+
+// ParseTopology maps the -topology flag spellings back to a MeshTopology.
+func ParseTopology(s string) (MeshTopology, error) {
+	switch s {
+	case "full", "fullmesh", "all-to-all":
+		return TopoFullMesh, nil
+	case "ring":
+		return TopoRing, nil
+	case "nvswitch", "switch":
+		return TopoNVSwitch, nil
+	default:
+		return 0, fmt.Errorf("config: unknown mesh topology %q (want full, ring, or nvswitch)", s)
+	}
+}
+
+// NVLinkConfig parameterizes the inter-GPU links of a mesh. The zero value
+// means "use the NVLink3 defaults" — mesh construction normalizes it with
+// WithDefaults, so a Config that never touches NVLink still builds a
+// realistic fabric.
+type NVLinkConfig struct {
+	// Topology selects the fabric wiring (full mesh, ring, NVSwitch).
+	Topology MeshTopology
+	// RateNum/RateDen is the per-direction link bandwidth in flits/cycle.
+	// The NVLink3 default models one link of the bundle — 25 GB/s per
+	// direction / (40-byte flits x 1.2 GHz) = 25/48 ~ 0.52 flits/cycle —
+	// the granularity at which cross-GPU contention is observable: traffic
+	// between a device pair rides a fixed link of the bundle, so a flood on
+	// that link backs it up even while sibling links stay idle. Set 25/4
+	// (6.25 flits/cycle) to model the full 300 GB/s 12-link aggregate
+	// instead.
+	RateNum, RateDen int
+	// HopLatency is the one-way latency of a single NVLink hop in core
+	// cycles. NVBleed-style microbenchmarks put remote GPU access around
+	// 2-3x local; 180 cycles per direction lands in that band on the
+	// Table 1 clock.
+	HopLatency int
+	// SwitchLatency is the extra latency an NVSwitch traversal adds on top
+	// of the two hops (TopoNVSwitch only).
+	SwitchLatency int
+}
+
+// WithDefaults returns the config with every zero field replaced by the
+// NVLink3-derived default.
+func (n NVLinkConfig) WithDefaults() NVLinkConfig {
+	if n.RateNum == 0 && n.RateDen == 0 {
+		n.RateNum, n.RateDen = 25, 48 // one NVLink3 link, ~0.52 flits/cycle
+	}
+	if n.RateDen == 0 {
+		n.RateDen = 1
+	}
+	if n.HopLatency == 0 {
+		n.HopLatency = 180
+	}
+	if n.SwitchLatency == 0 {
+		n.SwitchLatency = 60
+	}
+	return n
+}
+
 // Config is the full simulated-GPU configuration.
 type Config struct {
 	Name string
@@ -161,6 +251,17 @@ type Config struct {
 	ClockGPCSpreadHi uint32 // per-GPC base clock offsets span (Fig 6: ~0..5e9 scaled to 32-bit)
 
 	Seed int64 // deterministic RNG seed for all noise sources
+
+	// MeshGPUs is the device count a multi-GPU mesh built from this
+	// configuration should have. It is advisory: a standalone engine.New
+	// ignores it, and experiments that build meshes treat 0 as "the
+	// experiment's default" (typically 2). Negative values fail Validate.
+	MeshGPUs int
+
+	// NVLink parameterizes the inter-GPU fabric of a mesh built from this
+	// configuration. The zero value selects the NVLink3 defaults (see
+	// NVLinkConfig.WithDefaults); a standalone engine never reads it.
+	NVLink NVLinkConfig
 
 	// ExhaustiveTick disables the engine's activity-driven scheduling: every
 	// SM, NoC link, L2 slice, and memory controller is ticked on every cycle
@@ -508,5 +609,70 @@ func (c *Config) Validate() error {
 	if c.NoC.CRRHoldLimit <= 0 {
 		return fmt.Errorf("config: bad CRR hold limit %d", c.NoC.CRRHoldLimit)
 	}
+	if c.MeshGPUs < 0 {
+		return fmt.Errorf("config: negative mesh GPU count %d", c.MeshGPUs)
+	}
+	switch c.NVLink.Topology {
+	case TopoFullMesh, TopoRing, TopoNVSwitch:
+	default:
+		return fmt.Errorf("config: unknown mesh topology %d", int(c.NVLink.Topology))
+	}
+	if n := c.NVLink; n.RateNum < 0 || n.RateDen < 0 || n.HopLatency < 0 || n.SwitchLatency < 0 {
+		return fmt.Errorf("config: negative NVLink parameter (rate %d/%d, hop %d, switch %d)",
+			n.RateNum, n.RateDen, n.HopLatency, n.SwitchLatency)
+	}
 	return nil
+}
+
+// Clone returns a deep copy suitable for handing to a second engine
+// instance: the shared-pointer fields that would otherwise alias state
+// across devices are replaced. Probes and Meter, when set, become fresh
+// instances (a registry and meter must have exactly one engine's worth of
+// components behind each name for per-device metrics to mean anything);
+// Telemetry is dropped to nil, because a sampler aggregates exactly one
+// registry and the clone no longer feeds the original's. DisabledTPCSlots
+// is copied so the clone's topology cannot be mutated through the parent.
+// Plain-value fields (including NVLink and NoC) copy as usual.
+func (c *Config) Clone() Config {
+	out := *c
+	if c.DisabledTPCSlots != nil {
+		out.DisabledTPCSlots = append([]int(nil), c.DisabledTPCSlots...)
+	}
+	if c.Probes != nil {
+		out.Probes = probe.NewRegistry()
+	}
+	if c.Meter != nil {
+		out.Meter = &CycleMeter{}
+	}
+	out.Telemetry = nil
+	return out
+}
+
+// DeviceSeed derives the per-device RNG seed for device dev of a mesh built
+// with base seed. Device 0 keeps the base seed unchanged, so a 1-GPU mesh is
+// bit-identical to a standalone engine; higher devices mix the device index
+// through FNV-1a so no two devices replay one noise stream (the same scheme
+// experiments.DeriveSeed uses for per-experiment seeds).
+func DeviceSeed(seed int64, dev int) int64 {
+	if dev == 0 {
+		return seed
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(seed>>(8*i)) & 0xFF
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(dev>>(8*i)) & 0xFF
+		h *= prime64
+	}
+	h &^= 1 << 63 // keep the seed non-negative for readability in logs
+	if h == 0 {
+		h = 1
+	}
+	return int64(h)
 }

@@ -410,14 +410,8 @@ func Calibrate(cfg *config.Config, p Params, preambleSlots int, co ...device.Ker
 	if err != nil {
 		return p, err
 	}
-	if preambleSlots <= 0 {
-		preambleSlots = 32
-	}
 	levels := p2.Levels()
-	payload := make([]Symbol, preambleSlots)
-	for i := range payload {
-		payload[i] = Symbol(i % levels)
-	}
+	payload := calibrationPayload(preambleSlots, levels)
 	cal := p2
 	cal.Coding, cal.Repeat, cal.PreambleSymbols, cal.ResyncGuardSlots = CodingNone, 0, 0, 0
 	var tr *Transmission
@@ -446,10 +440,41 @@ func Calibrate(cfg *config.Config, p Params, preambleSlots int, co ...device.Ker
 	if err != nil {
 		return p, err
 	}
-	trace := res.Pairs[0].Trace
+	ths, err := thresholdsFromTrace(res.Pairs[0].Trace, payload, levels)
+	if err != nil {
+		return p, err
+	}
+	// Return the fully-defaulted parameters (slot, moduli, warps) with the
+	// measured thresholds, so callers can rely on every derived field.
+	p2.Thresholds = ths
+	p2.Threshold = ths[0]
+	return p2, nil
+}
+
+// calibrationPayload is the known alternating symbol pattern a calibration
+// transmission sends so every contention level is sampled.
+func calibrationPayload(preambleSlots, levels int) []Symbol {
+	if preambleSlots <= 0 {
+		preambleSlots = 32
+	}
+	payload := make([]Symbol, preambleSlots)
+	for i := range payload {
+		payload[i] = Symbol(i % levels)
+	}
+	return payload
+}
+
+// thresholdsFromTrace places a threshold at the midpoint between the mean
+// observed slot latencies of each adjacent pair of levels in a calibration
+// trace (the empirical threshold determination of §4.4). Shared by Calibrate
+// and CalibrateRemote.
+func thresholdsFromTrace(trace []SlotTrace, payload []Symbol, levels int) ([]float64, error) {
 	sums := make([]float64, levels)
 	counts := make([]int, levels)
 	for i, st := range trace {
+		if i >= len(payload) {
+			break
+		}
 		lvl := int(payload[i])
 		sums[lvl] += st.MeanLatency
 		counts[lvl]++
@@ -457,7 +482,7 @@ func Calibrate(cfg *config.Config, p Params, preambleSlots int, co ...device.Ker
 	ths := make([]float64, 0, levels-1)
 	for l := 0; l+1 < levels; l++ {
 		if counts[l] == 0 || counts[l+1] == 0 {
-			return p, fmt.Errorf("core: calibration level %d unsampled", l)
+			return nil, fmt.Errorf("core: calibration level %d unsampled", l)
 		}
 		lo := sums[l] / float64(counts[l])
 		hi := sums[l+1] / float64(counts[l+1])
@@ -467,14 +492,10 @@ func Calibrate(cfg *config.Config, p Params, preambleSlots int, co ...device.Ker
 		// would decode anything.
 		const minSeparation = 5.0
 		if hi-lo < minSeparation {
-			return p, fmt.Errorf("core: calibration found no usable separation between levels %d and %d (%.1f vs %.1f)",
+			return nil, fmt.Errorf("core: calibration found no usable separation between levels %d and %d (%.1f vs %.1f)",
 				l, l+1, lo, hi)
 		}
 		ths = append(ths, (lo+hi)/2)
 	}
-	// Return the fully-defaulted parameters (slot, moduli, warps) with the
-	// measured thresholds, so callers can rely on every derived field.
-	p2.Thresholds = ths
-	p2.Threshold = ths[0]
-	return p2, nil
+	return ths, nil
 }

@@ -24,6 +24,11 @@ const (
 	// GPCChannel uses the concentrated GPC channel shared by the TPCs of
 	// one GPC; the sender modulates *read* contention (§3.4, §4.5).
 	GPCChannel
+	// NVLinkChannel uses an inter-GPU NVLink link of a multi-GPU mesh
+	// (internal/mesh): the sender floods the link with remote writes while
+	// the receiver times remote reads whose replies share the same link —
+	// the cross-GPU channel of NVBleed / "Beyond the Bridge" (PAPERS.md).
+	NVLinkChannel
 )
 
 // String names the channel kind.
@@ -33,6 +38,8 @@ func (k Kind) String() string {
 		return "TPC"
 	case GPCChannel:
 		return "GPC"
+	case NVLinkChannel:
+		return "NVLink"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -267,6 +274,13 @@ func DefaultSlot(k Kind, iterations int) uint64 {
 	switch k {
 	case GPCChannel:
 		return uint64(250 + 450*iterations)
+	case NVLinkChannel:
+		// A remote round trip pays the NVLink hop both ways (~2x180 cycles
+		// with the NVLink3 preset) plus the serialization of a whole
+		// uncoalesced reply burst through a ~0.52 flits/cycle link, and the
+		// slot must also absorb the sender's flood drain, so both terms are
+		// far larger than on-die.
+		return uint64(2000 + 2000*iterations)
 	default:
 		// Per-iteration budget: ~288 cycles of shared-channel drain for
 		// the sender's flood plus the probe round trip, and a fixed term
@@ -287,6 +301,8 @@ func defaultThreshold(k Kind) float64 {
 	switch k {
 	case GPCChannel:
 		return 260
+	case NVLinkChannel:
+		return 500
 	default:
 		return 250
 	}

@@ -20,6 +20,15 @@ type chunkFunc func(smid int) []Symbol
 // addrFunc returns the L2-resident probe window base for a given SM.
 type addrFunc func(smid int) uint64
 
+// phaseFunc returns the SyncClock target residue for a given SM. On-die
+// channels leave it nil (phase 0: §4.1 shows clock registers of SMs in one
+// GPU agree closely enough). Cross-GPU channels synchronize in *global* time
+// by cancelling the device-private clock offset: the attacker learns its
+// SM's offset once (the one-time calibration of §4.1 applied across
+// devices) and thereafter waits for clock % modulus == offset % modulus,
+// which both sides reach at the same global cycle.
+type phaseFunc func(smid int) uint64
+
 // Sender/receiver state machine states.
 const (
 	stRole = iota
@@ -38,12 +47,15 @@ type senderProgram struct {
 	p      *Params
 	chunk  chunkFunc
 	window addrFunc
+	phase  phaseFunc // nil = phase 0 (on-die channels)
 	write  bool
 	lineB  int
 	simt   int
+	factor int // per-slot op budget factor; 0 = senderOpFactor
 	rng    *rand.Rand
 
 	symbols   []Symbol
+	ph        uint64
 	state     int
 	slotStart uint64 // local clock at current slot start
 	bitIdx    int
@@ -78,13 +90,20 @@ func (s *senderProgram) Step(ctx *device.Ctx) device.Op {
 	switch s.state {
 	case stRole:
 		s.symbols = s.chunk(ctx.SMID)
-		s.myOps = opShare(senderOpFactor*s.p.Iterations, s.p.SenderWarps, ctx.Warp)
+		factor := s.factor
+		if factor == 0 {
+			factor = senderOpFactor
+		}
+		s.myOps = opShare(factor*s.p.Iterations, s.p.SenderWarps, ctx.Warp)
 		if len(s.symbols) == 0 || s.myOps == 0 {
 			return device.Done()
 		}
 		s.base = s.window(ctx.SMID)
+		if s.phase != nil {
+			s.ph = s.phase(ctx.SMID)
+		}
 		s.state = stInitSync
-		return device.SyncClock(s.p.InitModulus, 0)
+		return device.SyncClock(s.p.InitModulus, s.ph)
 
 	case stInitSync:
 		s.slotStart = ctx.Clock64
@@ -130,7 +149,7 @@ func (s *senderProgram) Step(ctx *device.Ctx) device.Op {
 		}
 		if s.p.SyncPeriod > 0 && s.bitIdx%s.p.SyncPeriod == 0 {
 			s.state = stResync
-			return device.SyncClock(s.p.SyncModulus, 0)
+			return device.SyncClock(s.p.SyncModulus, s.ph)
 		}
 		s.state = stSlotStart
 		return s.Step(ctx)
@@ -181,7 +200,8 @@ type receiverProgram struct {
 	p      *Params
 	active func(smid int) bool
 	window addrFunc
-	count  int // symbols to receive
+	phase  phaseFunc // nil = phase 0 (on-die channels)
+	count  int       // symbols to receive
 	lineB  int
 	simt   int
 	rng    *rand.Rand
@@ -193,6 +213,7 @@ type receiverProgram struct {
 	LastOp   uint64 // local clock at final slot end
 	SMID     int
 
+	ph        uint64
 	state     int
 	slotStart uint64
 	bitIdx    int
@@ -212,8 +233,11 @@ func (r *receiverProgram) Step(ctx *device.Ctx) device.Op {
 		}
 		r.SMID = ctx.SMID
 		r.base = r.window(ctx.SMID)
+		if r.phase != nil {
+			r.ph = r.phase(ctx.SMID)
+		}
 		r.state = stInitSync
-		return device.SyncClock(r.p.InitModulus, 0)
+		return device.SyncClock(r.p.InitModulus, r.ph)
 
 	case stInitSync:
 		r.slotStart = ctx.Clock64
@@ -266,7 +290,7 @@ func (r *receiverProgram) Step(ctx *device.Ctx) device.Op {
 		}
 		if r.p.SyncPeriod > 0 && r.bitIdx%r.p.SyncPeriod == 0 {
 			r.state = stResync
-			return device.SyncClock(r.p.SyncModulus, 0)
+			return device.SyncClock(r.p.SyncModulus, r.ph)
 		}
 		r.state = stSlotStart
 		return r.Step(ctx)

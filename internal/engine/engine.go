@@ -78,6 +78,11 @@ type GPU struct {
 	par     *parEngine
 	workers int
 
+	// rmt is the cross-GPU seam (see remote.go): nil on a standalone
+	// device, set by ConnectRemote when the GPU joins a mesh. The hot
+	// paths pay one nil check when unconnected.
+	rmt *remoteState
+
 	// trace is cached from the registry so updateKernels can emit one span
 	// per completed kernel; nil when tracing is disabled.
 	trace       *probe.Trace
@@ -119,6 +124,12 @@ func New(cfg config.Config) (*GPU, error) {
 	for i := range g.sms {
 		i := i
 		g.sms[i], err = sm.New(i, &g.cfg, g.clocks, func(now uint64, p *packet.Packet) {
+			if g.rmt != nil {
+				if d := g.rmt.owner(p.Addr); d != g.rmt.dev {
+					g.rmt.pushRequest(p, d)
+					return
+				}
+			}
 			p.Slice = g.part.SliceFor(p.Addr)
 			g.net.InjectRequest(now, i, p)
 		})
@@ -158,8 +169,19 @@ func New(cfg config.Config) (*GPU, error) {
 }
 
 func (g *GPU) onRequestAtSlice(now uint64, p *packet.Packet) { g.part.Accept(now, p) }
-func (g *GPU) onReplyFromSlice(now uint64, p *packet.Packet) { g.net.InjectReply(now, p) }
-func (g *GPU) onReplyAtSM(now uint64, p *packet.Packet)      { g.sms[p.Tag.SM].OnReply(now, p) }
+
+// onReplyFromSlice routes a completed reply: cross-GPU replies (a request
+// stamped SrcDev != DstDev at NVLink egress keeps the stamps through the
+// slice) leave for the origin device through the remote reply outbox instead
+// of entering the local reply subnet.
+func (g *GPU) onReplyFromSlice(now uint64, p *packet.Packet) {
+	if g.rmt != nil && p.SrcDev != p.DstDev {
+		g.rmt.pushReply(p)
+		return
+	}
+	g.net.InjectReply(now, p)
+}
+func (g *GPU) onReplyAtSM(now uint64, p *packet.Packet) { g.sms[p.Tag.SM].OnReply(now, p) }
 
 // Config returns the (immutable) configuration.
 func (g *GPU) Config() *config.Config { return &g.cfg }
@@ -275,6 +297,9 @@ func (g *GPU) step() {
 // no future cycle can do work until the next Launch, so cycles may be
 // skipped wholesale. Always false in exhaustive mode.
 func (g *GPU) quiet() bool {
+	if g.rmt != nil && !g.rmt.boxesEmpty() {
+		return false
+	}
 	if g.par != nil {
 		return g.running == 0 && g.par.smsQuiet() &&
 			g.net.Quiet() && g.part.Quiet()
@@ -352,13 +377,44 @@ func (g *GPU) RunFor(n uint64) {
 }
 
 // RunUntil advances the simulation until cond returns true or the cycle
-// budget is exhausted; it reports whether cond fired.
+// budget is exhausted; it reports whether cond fired. Like RunFor it
+// fast-forwards once the whole device is parked with no kernel running:
+// step() would be a no-op then, so the clock is advanced directly and the
+// telemetry sampler is handed the skipped span in one call. cond is still
+// evaluated at every cycle boundary the stepped loop would have checked —
+// per-cycle observables such as clock registers are pure functions of the
+// cycle number — so the cycle at which cond first fires, and the state cond
+// observes, are unchanged.
 func (g *GPU) RunUntil(cond func() bool, budget uint64) bool {
 	ran := uint64(0)
 	defer func() { g.cfg.Meter.Add(ran) }()
 	for i := uint64(0); i < budget; i++ {
 		if cond() {
 			return true
+		}
+		if g.quiet() {
+			remaining := budget - i
+			skipped := uint64(0)
+			fired := false
+			for skipped < remaining {
+				g.now++
+				skipped++
+				if skipped < remaining && cond() {
+					fired = true
+					break
+				}
+			}
+			ran += skipped
+			if g.ffwdCycles != nil {
+				g.ffwdCycles.Add(skipped)
+			}
+			if g.tel != nil {
+				g.tel.Step(skipped, g.cfg.Probes)
+			}
+			if fired {
+				return true
+			}
+			break
 		}
 		g.step()
 		if g.tel != nil {

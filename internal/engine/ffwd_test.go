@@ -1,0 +1,103 @@
+package engine
+
+// Regression tests for the RunUntil quiet-stretch fast-forward: once the
+// device is parked, RunUntil must skip cycles exactly like RunFor instead of
+// stepping idle silicon, while still evaluating cond at every cycle boundary
+// the stepped loop would have checked.
+
+import (
+	"testing"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/probe"
+)
+
+// drainedGPU runs a small kernel to completion and drains the device, so the
+// remainder of the test exercises pure quiet-stretch behavior.
+func drainedGPU(t *testing.T) *GPU {
+	t.Helper()
+	cfg := testCfg()
+	cfg.Probes = probe.NewRegistry()
+	cfg.Meter = &config.CycleMeter{}
+	g := mkGPU(t, cfg)
+	preloadStreamers(g, 2)
+	spec, _ := streamerKernel("ffwd", 1, 2, 100, true, false, cfg.L2LineBytes)
+	if _, err := g.Launch(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunKernels(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RunUntil(g.Idle, 100_000) {
+		t.Fatal("GPU did not drain")
+	}
+	return g
+}
+
+// TestRunUntilFastForwardsQuietStretches pins the satellite fix: a drained
+// device driven by RunUntil with a never-true cond must advance the full
+// budget through the fast-forward path (ffwd_cycles grows by the budget, as
+// RunFor's already did) and end bit-identical to a twin driven by RunFor.
+func TestRunUntilFastForwardsQuietStretches(t *testing.T) {
+	g := drainedGPU(t)
+	tw := drainedGPU(t)
+	if g.Now() != tw.Now() {
+		t.Fatalf("twins diverged before the test: %d vs %d", g.Now(), tw.Now())
+	}
+
+	load := func(g *GPU, name string) uint64 { return g.Config().Probes.Counter(name).Load() }
+	const span = 7_500
+	ffwdBefore, nowBefore := load(g, "sched/ffwd_cycles"), g.Now()
+	meterBefore := g.Config().Meter.Load()
+
+	if g.RunUntil(func() bool { return false }, span) {
+		t.Fatal("never-true cond reported fired")
+	}
+	tw.RunFor(span)
+
+	if g.Now() != nowBefore+span {
+		t.Errorf("RunUntil advanced to %d, want %d", g.Now(), nowBefore+span)
+	}
+	if got := load(g, "sched/ffwd_cycles") - ffwdBefore; got != span {
+		t.Errorf("RunUntil fast-forwarded %d cycles, want %d", got, span)
+	}
+	if got := g.Config().Meter.Load() - meterBefore; got != span {
+		t.Errorf("meter recorded %d cycles, want %d", got, span)
+	}
+
+	// Bit-identity against the RunFor twin: clock, fast-forward counter,
+	// per-SM clock registers.
+	if g.Now() != tw.Now() {
+		t.Errorf("RunUntil ended at %d, RunFor twin at %d", g.Now(), tw.Now())
+	}
+	if a, b := load(g, "sched/ffwd_cycles"), load(tw, "sched/ffwd_cycles"); a != b {
+		t.Errorf("ffwd_cycles diverged: RunUntil %d, RunFor %d", a, b)
+	}
+	for smid := 0; smid < g.Config().NumSMs(); smid++ {
+		if a, b := g.Clocks().Read64(smid, 0), tw.Clocks().Read64(smid, 0); a != b {
+			t.Errorf("SM %d clock register diverged: RunUntil %d, RunFor %d", smid, a, b)
+		}
+	}
+}
+
+// TestRunUntilCondFiresMidSkip plants a Now-dependent cond inside the quiet
+// stretch: the skip must still fire it at the exact cycle the stepped loop
+// would have, proving cond is re-checked at every skipped boundary.
+func TestRunUntilCondFiresMidSkip(t *testing.T) {
+	g := drainedGPU(t)
+	target := g.Now() + 1234
+	if !g.RunUntil(func() bool { return g.Now() >= target }, 1_000_000) {
+		t.Fatal("Now-dependent cond never fired")
+	}
+	if g.Now() != target {
+		t.Errorf("cond fired at cycle %d, want exactly %d", g.Now(), target)
+	}
+	// A cond that is already true must return immediately without advancing.
+	before := g.Now()
+	if !g.RunUntil(func() bool { return true }, 1_000_000) {
+		t.Fatal("already-true cond reported not fired")
+	}
+	if g.Now() != before {
+		t.Errorf("already-true cond advanced the clock to %d from %d", g.Now(), before)
+	}
+}

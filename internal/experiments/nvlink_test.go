@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The NVLink experiments must run and pass their own -check shapes on the
+// small model at quick scale (the CI smoke configuration).
+func TestNVLinkExperimentsQuickSmall(t *testing.T) {
+	cfg := smallCfg()
+	for _, id := range []string{"nvlink-remote-vs-local", "nvlink-channel"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		f, err := e.Run(&cfg, Options{Scale: Quick})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := e.Check(&cfg, f); err != nil {
+			t.Errorf("%s check: %v", id, err)
+		}
+	}
+}
+
+// MeshGPUs flows from the config into the experiment: a 3-GPU mesh still
+// produces a working device-0 -> device-1 channel.
+func TestNVLinkChannelHonorsMeshGPUs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-GPU transmission is slow")
+	}
+	cfg := smallCfg()
+	cfg.MeshGPUs = 3
+	e, _ := Lookup("nvlink-channel")
+	f, err := e.Run(&cfg, Options{Scale: Quick})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := e.Check(&cfg, f); err != nil {
+		t.Errorf("check: %v", err)
+	}
+}

@@ -65,7 +65,8 @@ func TestDefaultRegistryCoversAllArtifacts(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig13", "fig14", "fig15", "srr-defeat",
-		"srr-tradeoff", "mps", "noise", "ablation-warps", "ablation-slot",
+		"srr-tradeoff", "mps", "nvlink-remote-vs-local", "nvlink-channel",
+		"noise", "ablation-warps", "ablation-slot",
 		"ablation-speedup", "clock-fuzz", "side-channel", "table2",
 		"noise-sweep", "coded-vs-uncoded", "detect-latency", "detector-roc",
 	}

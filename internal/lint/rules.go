@@ -210,6 +210,7 @@ func engineAndBelow() []string {
 		"internal/engine",
 		"internal/link",
 		"internal/mem",
+		"internal/mesh",
 		"internal/noc",
 		"internal/noise",
 		"internal/packet",
@@ -304,9 +305,21 @@ func DefaultRules() *Rules {
 					"internal/tbsched", "internal/telemetry",
 				},
 
+				// The multi-GPU mesh: N engines under one global clock,
+				// joined by NVLink-parameterized links. It sits between the
+				// engine and the attack layer — core places cross-GPU
+				// channels on it, and it never reaches above the engine.
+				"internal/mesh": {
+					"internal/arb", "internal/config", "internal/device",
+					"internal/engine", "internal/link", "internal/packet",
+				},
+
 				// The attack, prior-work channels, and reverse engineering.
 				"internal/reveng": {"internal/config", "internal/device", "internal/engine"},
-				"internal/core":   {"internal/config", "internal/device", "internal/engine", "internal/warp"},
+				"internal/core": {
+					"internal/config", "internal/device", "internal/engine",
+					"internal/mesh", "internal/warp",
+				},
 				"internal/baseline": {
 					"internal/config", "internal/core", "internal/device",
 					"internal/engine", "internal/warp",
@@ -317,9 +330,9 @@ func DefaultRules() *Rules {
 				// roots) may import it back.
 				"internal/experiments": {
 					"internal/baseline", "internal/config", "internal/core",
-					"internal/device", "internal/engine", "internal/noise",
-					"internal/probe", "internal/reveng", "internal/stats",
-					"internal/telemetry", "internal/warp",
+					"internal/device", "internal/engine", "internal/mesh",
+					"internal/noise", "internal/probe", "internal/reveng",
+					"internal/stats", "internal/telemetry", "internal/warp",
 				},
 
 				// Tooling: stdlib only, outside the simulator entirely.
@@ -385,6 +398,7 @@ func DefaultRules() *Rules {
 				{Package: "internal/engine", Type: "GPU", Field: "sms"},
 				{Package: "internal/engine", Type: "parEngine", Field: "smsOfGPC"},
 				{Package: "internal/engine", Type: "parEngine", Field: "smShards"},
+				{Package: "internal/engine", Type: "remoteState", Field: "gpcOfSM"},
 				{Package: "internal/noc", Type: "Network", Field: "reqTPC"},
 				{Package: "internal/noc", Type: "Network", Field: "reqGPC"},
 				{Package: "internal/noc", Type: "Network", Field: "xbarIn"},
@@ -407,6 +421,13 @@ func DefaultRules() *Rules {
 			HandoffFields: []FieldRef{
 				{Package: "internal/noc", Type: "shardState", Field: "xbox"},
 				{Package: "internal/noc", Type: "shardState", Field: "rbox"},
+				// The cross-GPU outboxes (internal/engine/remote.go): the
+				// same single-writer idiom at the NVLink boundary — the
+				// source GPC's phase-G task fills reqOut, the partition
+				// group's phase-P task fills repOut, the mesh coordinator
+				// drains both between cycles.
+				{Package: "internal/engine", Type: "remoteState", Field: "reqOut"},
+				{Package: "internal/engine", Type: "remoteState", Field: "repOut"},
 			},
 			// The reviewed producers, barrier-ordered drains, and read-only
 			// queries — the only functions allowed to touch the outboxes.
@@ -420,12 +441,17 @@ func DefaultRules() *Rules {
 				{Package: "internal/noc", Recv: "shardState", Name: "quiet"},
 				{Package: "internal/noc", Recv: "shardState", Name: "boxesEmpty"},
 				{Package: "internal/noc", Recv: "Network", Name: "EnableSharding"},
+				{Package: "internal/engine", Recv: "remoteState", Name: "pushRequest"},
+				{Package: "internal/engine", Recv: "remoteState", Name: "pushReply"},
+				{Package: "internal/engine", Recv: "remoteState", Name: "boxesEmpty"},
+				{Package: "internal/engine", Recv: "GPU", Name: "DrainRemote"},
 			},
 			// Structs owned by the coordinator between phases: a phase task
 			// may read them but never write their fields.
 			CoordinatorTypes: []TypeRef{
 				{Package: "internal/engine", Type: "GPU"},
 				{Package: "internal/engine", Type: "parEngine"},
+				{Package: "internal/engine", Type: "remoteState"},
 				{Package: "internal/noc", Type: "Network"},
 				{Package: "internal/noc", Type: "shardState"},
 				{Package: "internal/mem", Type: "Partition"},

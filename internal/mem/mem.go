@@ -215,6 +215,8 @@ func (s *Slice) scheduleReply(at uint64, req *packet.Packet) {
 		Addr:       req.Addr,
 		Slice:      s.id,
 		SrcSM:      req.SrcSM,
+		SrcDev:     req.SrcDev,
+		DstDev:     req.DstDev,
 		IssueCycle: req.IssueCycle,
 		SliceCycle: at,
 		BypassL1:   req.BypassL1,

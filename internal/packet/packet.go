@@ -96,6 +96,14 @@ type Packet struct {
 
 	SrcSM int // issuing SM
 
+	// SrcDev and DstDev identify the issuing and owning GPU of a cross-GPU
+	// packet in a multi-device mesh (internal/mesh). Both are zero for all
+	// single-GPU traffic, so a standalone engine never observes them. A
+	// request is stamped at NVLink egress; its reply keeps the request's
+	// values, so the mesh routes replies back by SrcDev.
+	SrcDev int
+	DstDev int
+
 	// Timestamps (cycles) for latency accounting and age-based arbitration.
 	IssueCycle   uint64 // when the LSU injected the packet
 	SliceCycle   uint64 // when the L2 slice finished servicing it
