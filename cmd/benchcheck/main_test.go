@@ -61,13 +61,18 @@ func TestParseBench(t *testing.T) {
 	in := strings.NewReader(`goos: linux
 BenchmarkEngineTick/idle-8         	200000	         0.5 ns/op
 BenchmarkEngineTick/saturated      	200000	       184.7 ns/op
+BenchmarkSnapshotRestore/snapshot-8	      20	  16300000 ns/op
 PASS
 `)
 	got, err := parseBench(in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["idle"] != 0.5 || got["saturated"] != 184.7 {
-		t.Errorf("parseBench = %v", got)
+	tick := got["EngineTick"]
+	if tick["idle"] != 0.5 || tick["saturated"] != 184.7 {
+		t.Errorf("parseBench EngineTick = %v", tick)
+	}
+	if got["SnapshotRestore"]["snapshot"] != 16300000 {
+		t.Errorf("parseBench SnapshotRestore = %v", got["SnapshotRestore"])
 	}
 }

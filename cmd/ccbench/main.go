@@ -12,7 +12,7 @@
 //	ccbench [-config volta|small] [-scale quick|full] [-seed N]
 //	        [-only fig10,table2,...] [-parallel N] [-engine-workers N]
 //	        [-check] [-csv DIR] [-metrics DIR] [-telemetry DIR]
-//	        [-gpus N] [-topology full|ring|nvswitch]
+//	        [-checkpoint-dir DIR] [-gpus N] [-topology full|ring|nvswitch]
 //	ccbench -list
 //
 // -gpus and -topology shape the simulated multi-GPU mesh used by the
@@ -36,6 +36,15 @@
 // are deterministic: byte-identical across runs and at any -parallel
 // setting, because each experiment owns a private registry and snapshots
 // are sorted by metric name.
+//
+// -checkpoint-dir DIR enables the content-addressed result cache: each
+// completed experiment is stored under its cache key — (config hash, config
+// name, suite seed, experiment id, scale, observer flags) — and a later run
+// with the same key is served from disk without simulating. Worker knobs
+// (-parallel, -engine-workers) are deliberately not part of the key: results
+// are identical at every worker count, so a warm run renders byte-identically
+// to the cold run that populated the cache. Failed experiments are never
+// cached.
 //
 // -telemetry DIR attaches a windowed telemetry sampler (with a paper-rate
 // covert-channel detector watching) to every experiment and writes one
@@ -88,6 +97,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into (created if missing)")
 	metricsDir := flag.String("metrics", "", "directory to write per-experiment probe metrics (JSON+CSV) into (created if missing)")
 	telemetryDir := flag.String("telemetry", "", "directory to write per-experiment telemetry window/event JSONL streams into (created if missing)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for the content-addressed result cache; repeated runs with the same key are served from it without simulating")
 	parallel := flag.Int("parallel", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
 	engineWorkers := flag.Int("engine-workers", 0, "engine tick-loop workers per simulated GPU (0 = sequential: the experiment pool already fills the machine)")
 	gpus := flag.Int("gpus", 0, "GPUs per simulated mesh for the cross-GPU experiments (0 = their default of 2)")
@@ -177,7 +187,7 @@ func main() {
 		}
 	}
 
-	for _, dir := range []string{*csvDir, *metricsDir, *telemetryDir} {
+	for _, dir := range []string{*csvDir, *metricsDir, *telemetryDir, *checkpointDir} {
 		if dir == "" {
 			continue
 		}
@@ -193,6 +203,10 @@ func main() {
 		Parallel: *parallel,
 		Options:  opt,
 		Check:    *check,
+	}
+	if *checkpointDir != "" {
+		runner.Cache = &experiments.Cache{Dir: *checkpointDir}
+		runner.ConfigName = cfg.Name
 	}
 	results, err := runner.Run(&cfg, ids)
 	if err != nil {

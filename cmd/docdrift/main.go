@@ -12,7 +12,11 @@
 //     (internal/engine/determinism_test.go) actually runs;
 //   - EXPERIMENTS.md never mentions the id of an experiment that is
 //     registered in internal/experiments — a new Fig*/Table* that was never
-//     documented.
+//     documented;
+//   - the cache-key field table in docs/ARCHITECTURE.md ("Checkpoint/
+//     restore & server") disagrees with the experiments.CacheKey struct —
+//     a field added to the key that the doc never documents, or a
+//     documented field the struct no longer has.
 //
 // CI runs it in the lint job:
 //
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -49,6 +54,7 @@ func main() {
 	checkLinks(root, report)
 	checkWorkerCounts(root, report)
 	checkExperimentIDs(root, report)
+	checkCacheKey(root, report)
 
 	if len(findings) > 0 {
 		for _, f := range findings {
@@ -218,6 +224,57 @@ func checkExperimentIDs(root string, report func(string, ...any)) {
 		token := regexp.MustCompile(`(^|[^a-z0-9-])` + regexp.QuoteMeta(e.ID) + `([^a-z0-9-]|$)`)
 		if !token.MatchString(text) {
 			report("experiment %q is registered in internal/experiments but never mentioned in %s", e.ID, expDoc)
+		}
+	}
+}
+
+const cacheKeyHead = "## Checkpoint/restore & server"
+
+// cacheKeyRow matches one row of the cache-key field table in
+// docs/ARCHITECTURE.md: a table line whose first cell is a backticked
+// snake_case field name.
+var cacheKeyRow = regexp.MustCompile("(?m)^\\| `([a-z_]+)` \\|")
+
+// checkCacheKey diffs the cache-key field table in docs/ARCHITECTURE.md
+// against the experiments.CacheKey struct (by JSON tag — the tags define
+// the canonical encoding the content address hashes), in both directions:
+// the service's cache contract and its documentation cannot drift apart.
+func checkCacheKey(root string, report func(string, ...any)) {
+	text, err := os.ReadFile(filepath.Join(root, archDoc))
+	if err != nil {
+		report("reading %s: %v", archDoc, err)
+		return
+	}
+	section := string(text)
+	i := strings.Index(section, cacheKeyHead)
+	if i < 0 {
+		report("%s has no %q section", archDoc, cacheKeyHead)
+		return
+	}
+	section = section[i+len(cacheKeyHead):]
+	if j := strings.Index(section, "\n## "); j >= 0 {
+		section = section[:j]
+	}
+	documented := map[string]bool{}
+	for _, m := range cacheKeyRow.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	declared := map[string]bool{}
+	t := reflect.TypeOf(experiments.CacheKey{})
+	for f := 0; f < t.NumField(); f++ {
+		tag := strings.Split(t.Field(f).Tag.Get("json"), ",")[0]
+		if tag != "" && tag != "-" {
+			declared[tag] = true
+		}
+	}
+	for _, tag := range sorted(declared) {
+		if !documented[tag] {
+			report("experiments.CacheKey field %q is not documented in the %q table of %s", tag, cacheKeyHead, archDoc)
+		}
+	}
+	for _, tag := range sorted(documented) {
+		if !declared[tag] {
+			report("%s documents cache-key field %q, which experiments.CacheKey does not have", archDoc, tag)
 		}
 	}
 }

@@ -1,0 +1,64 @@
+// Command gpunoc-server runs the simulation-as-a-service HTTP API from
+// internal/server: clients POST experiment jobs and poll for results, a
+// bounded worker pool simulates them with the same harness ccbench uses, and
+// finished results are content-addressed in an on-disk cache shared with
+// ccbench's -checkpoint-dir — a job whose key is already cached is answered
+// synchronously without simulating.
+//
+// Usage:
+//
+//	gpunoc-server -cache-dir DIR [-addr :8080] [-workers N]
+//
+// API (see internal/server for the full contract):
+//
+//	POST /v1/jobs        {"config":"small","seed":5,"experiment":"fig2",
+//	                      "scale":"quick"} -> 202 queued, or 200 when cached
+//	GET  /v1/jobs/{key}  poll a submitted job
+//	GET  /v1/healthz     liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	"gpunoc/internal/experiments"
+	"gpunoc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (required; shared with ccbench -checkpoint-dir)")
+	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "gpunoc-server: -cache-dir is required")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "gpunoc-server: %v\n", err)
+		os.Exit(2)
+	}
+	n := *workers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s, err := server.New(server.Config{
+		Cache:   &experiments.Cache{Dir: *cacheDir},
+		Workers: n,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpunoc-server: %v\n", err)
+		os.Exit(2)
+	}
+	defer s.Close()
+
+	fmt.Fprintf(os.Stderr, "gpunoc-server: listening on %s (cache %s, %d workers)\n", *addr, *cacheDir, n)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "gpunoc-server: %v\n", err)
+		os.Exit(1)
+	}
+}

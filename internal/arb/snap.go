@@ -1,0 +1,61 @@
+package arb
+
+import (
+	"fmt"
+
+	"gpunoc/internal/snap"
+)
+
+// Snapshot appends an arbiter's mutable grant state to the encoder. The
+// counting instrumentation wrapper is transparent (its probe counters are
+// restored with the probe registry), and the stateless policies (SRR, age,
+// fixed) contribute nothing beyond their policy byte, which guards against
+// restoring into a mux built under a different arbitration policy.
+func Snapshot(e *snap.Encoder, a Arbiter) {
+	if c, ok := a.(*counting); ok {
+		a = c.inner
+	}
+	e.U8(uint8(a.Policy()))
+	switch v := a.(type) {
+	case *roundRobin:
+		e.Int(v.last)
+	case *coarseRR:
+		e.Int(v.rr.last)
+		e.Bool(v.holding)
+		e.Int(v.heldIn)
+		e.Int(v.heldTag.SM)
+		e.Int(v.heldTag.Warp)
+		e.U64(v.heldTag.Op)
+		e.Int(v.heldUsed)
+	case *strictRR, *ageBased, *fixedPriority:
+		// stateless
+	default:
+		// New can only build the five types above; keep the encode total.
+	}
+}
+
+// Restore reads grant state written by Snapshot back into an arbiter of the
+// same policy (the restoring engine rebuilds muxes from the same
+// configuration, so the dynamic types always line up; a mismatch means the
+// snapshot is being restored into the wrong mux and fails).
+func Restore(d *snap.Decoder, a Arbiter) error {
+	if c, ok := a.(*counting); ok {
+		a = c.inner
+	}
+	if got := d.U8(); got != uint8(a.Policy()) {
+		return fmt.Errorf("%w: arbiter policy %d in snapshot, mux runs %v", snap.ErrCorrupt, got, a.Policy())
+	}
+	switch v := a.(type) {
+	case *roundRobin:
+		v.last = d.Int()
+	case *coarseRR:
+		v.rr.last = d.Int()
+		v.holding = d.Bool()
+		v.heldIn = d.Int()
+		v.heldTag.SM = d.Int()
+		v.heldTag.Warp = d.Int()
+		v.heldTag.Op = d.U64()
+		v.heldUsed = d.Int()
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package device
+
+import (
+	"errors"
+
+	"gpunoc/internal/snap"
+)
+
+// ErrNotCheckpointable reports a resident program that does not implement
+// Checkpointable — typically a StepFunc closure, whose captured variables
+// are opaque. A kernel built from such a program cannot survive a snapshot;
+// engine.(*GPU).Snapshot surfaces this error wrapped with the SM and warp.
+var ErrNotCheckpointable = errors.New("device: program is not checkpointable")
+
+// Checkpointable is implemented by programs whose warp-local state can be
+// serialized into an engine snapshot and rebuilt on restore. Closure-based
+// programs (StepFunc) cannot implement it — captured variables are opaque —
+// so a kernel that must survive a snapshot uses the concrete program types
+// of this package instead.
+type Checkpointable interface {
+	Program
+	// CheckpointID names the concrete program type inside snapshots; the
+	// restoring process maps it back to a factory via
+	// engine.RestoreOptions.Programs.
+	CheckpointID() string
+	// MarshalState appends every field — construction parameters and
+	// mutable progress — to the encoder, in a fixed order.
+	MarshalState(e *snap.Encoder)
+	// UnmarshalState reads the same fields back into a freshly
+	// constructed (zero-valued) program. Errors surface through the
+	// decoder's sticky error.
+	UnmarshalState(d *snap.Decoder)
+}
+
+// CheckpointID implements Checkpointable.
+func (s *Streamer) CheckpointID() string { return "streamer" }
+
+// MarshalState implements Checkpointable.
+func (s *Streamer) MarshalState(e *snap.Encoder) {
+	e.U64(s.Base)
+	e.Int(s.LineBytes)
+	e.Bool(s.Write)
+	e.Bool(s.Atomic)
+	e.Int(s.Count)
+	e.Bool(s.Uncoalesced)
+	e.U64(s.WrapBytes)
+	e.U64(s.StartDelay)
+	e.Int(len(s.Latencies))
+	for _, l := range s.Latencies {
+		e.U64(l)
+	}
+	e.Int(s.issued)
+	e.Bool(s.started)
+}
+
+// UnmarshalState implements Checkpointable.
+func (s *Streamer) UnmarshalState(d *snap.Decoder) {
+	s.Base = d.U64()
+	s.LineBytes = d.Int()
+	s.Write = d.Bool()
+	s.Atomic = d.Bool()
+	s.Count = d.Int()
+	s.Uncoalesced = d.Bool()
+	s.WrapBytes = d.U64()
+	s.StartDelay = d.U64()
+	n := d.Len()
+	s.Latencies = nil
+	for i := 0; i < n; i++ {
+		s.Latencies = append(s.Latencies, d.U64())
+	}
+	s.issued = d.Int()
+	s.started = d.Bool()
+}
+
+// CheckpointID implements Checkpointable.
+func (c *ClockReader) CheckpointID() string { return "clock-reader" }
+
+// MarshalState implements Checkpointable.
+func (c *ClockReader) MarshalState(e *snap.Encoder) {
+	e.U32(c.Value)
+	e.Int(c.SMID)
+	e.Bool(c.read)
+}
+
+// UnmarshalState implements Checkpointable.
+func (c *ClockReader) UnmarshalState(d *snap.Decoder) {
+	c.Value = d.U32()
+	c.SMID = d.Int()
+	c.read = d.Bool()
+}
+
+// CheckpointID implements Checkpointable.
+func (c *ComputeLoop) CheckpointID() string { return "compute-loop" }
+
+// MarshalState implements Checkpointable.
+func (c *ComputeLoop) MarshalState(e *snap.Encoder) {
+	e.Int(c.Count)
+	e.U64(c.IterCost)
+	e.Int(c.iterations)
+}
+
+// UnmarshalState implements Checkpointable.
+func (c *ComputeLoop) UnmarshalState(d *snap.Decoder) {
+	c.Count = d.Int()
+	c.IterCost = d.U64()
+	c.iterations = d.Int()
+}
+
+// MaskedStreamer is a Streamer that binds itself to a target SM set on its
+// first step: warps whose block landed on an SM outside the mask terminate
+// immediately, and active warps stream from a base address derived from
+// their physical SM. It exists so canned CLI workloads ("stream on SMs 0
+// and 1") are expressible without closures and therefore checkpointable;
+// it also records the warp's start and end clocks for per-SM reporting.
+type MaskedStreamer struct {
+	// SMs is the ascending list of target physical SM ids; empty means
+	// every SM participates.
+	SMs []int
+	// Warp is this warp's index within its block, WarpsPerSM the block's
+	// warp count; together with SpanBytes they place each active warp in
+	// a disjoint address window: Base = (SMID*WarpsPerSM+Warp)*SpanBytes.
+	Warp       int
+	WarpsPerSM int
+	SpanBytes  uint64
+	// LineBytes, Write, Count, Uncoalesced, and WrapBytes configure the
+	// inner Streamer.
+	LineBytes   int
+	Write       bool
+	Count       int
+	Uncoalesced bool
+	WrapBytes   uint64
+
+	// StartClock and EndClock are the warp's unwrapped SM clock at
+	// activation and at completion; SMID is the physical SM the warp
+	// bound to. They are read back for reports after the run.
+	StartClock uint64
+	EndClock   uint64
+	SMID       int
+
+	checked bool
+	active  bool
+	done    bool
+	inner   Streamer
+}
+
+// Step implements Program.
+func (m *MaskedStreamer) Step(ctx *Ctx) Op {
+	if !m.checked {
+		m.checked = true
+		m.active = len(m.SMs) == 0
+		for _, id := range m.SMs {
+			if id == ctx.SMID {
+				m.active = true
+				break
+			}
+		}
+		if m.active {
+			m.SMID = ctx.SMID
+			m.StartClock = ctx.Clock64
+			m.inner = Streamer{
+				Base:        uint64(ctx.SMID*m.WarpsPerSM+m.Warp) * m.SpanBytes,
+				LineBytes:   m.LineBytes,
+				Write:       m.Write,
+				Count:       m.Count,
+				Uncoalesced: m.Uncoalesced,
+				WrapBytes:   m.WrapBytes,
+			}
+		}
+	}
+	if !m.active {
+		return Done()
+	}
+	op := m.inner.Step(ctx)
+	if op.Kind == OpDone && !m.done {
+		m.done = true
+		m.EndClock = ctx.Clock64
+	}
+	return op
+}
+
+// Active reports whether the warp bound to a target SM.
+func (m *MaskedStreamer) Active() bool { return m.active }
+
+// CheckpointID implements Checkpointable.
+func (m *MaskedStreamer) CheckpointID() string { return "masked-streamer" }
+
+// MarshalState implements Checkpointable.
+func (m *MaskedStreamer) MarshalState(e *snap.Encoder) {
+	e.Int(len(m.SMs))
+	for _, id := range m.SMs {
+		e.Int(id)
+	}
+	e.Int(m.Warp)
+	e.Int(m.WarpsPerSM)
+	e.U64(m.SpanBytes)
+	e.Int(m.LineBytes)
+	e.Bool(m.Write)
+	e.Int(m.Count)
+	e.Bool(m.Uncoalesced)
+	e.U64(m.WrapBytes)
+	e.U64(m.StartClock)
+	e.U64(m.EndClock)
+	e.Int(m.SMID)
+	e.Bool(m.checked)
+	e.Bool(m.active)
+	e.Bool(m.done)
+	m.inner.MarshalState(e)
+}
+
+// UnmarshalState implements Checkpointable.
+func (m *MaskedStreamer) UnmarshalState(d *snap.Decoder) {
+	n := d.Len()
+	m.SMs = nil
+	for i := 0; i < n; i++ {
+		m.SMs = append(m.SMs, d.Int())
+	}
+	m.Warp = d.Int()
+	m.WarpsPerSM = d.Int()
+	m.SpanBytes = d.U64()
+	m.LineBytes = d.Int()
+	m.Write = d.Bool()
+	m.Count = d.Int()
+	m.Uncoalesced = d.Bool()
+	m.WrapBytes = d.U64()
+	m.StartClock = d.U64()
+	m.EndClock = d.U64()
+	m.SMID = d.Int()
+	m.checked = d.Bool()
+	m.active = d.Bool()
+	m.done = d.Bool()
+	m.inner.UnmarshalState(d)
+}
+
+// interface conformance guards (compile-time).
+var (
+	_ Checkpointable = (*Streamer)(nil)
+	_ Checkpointable = (*ClockReader)(nil)
+	_ Checkpointable = (*ComputeLoop)(nil)
+	_ Checkpointable = (*MaskedStreamer)(nil)
+)

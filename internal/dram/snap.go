@@ -1,0 +1,78 @@
+package dram
+
+import (
+	"gpunoc/internal/snap"
+)
+
+// Snapshot appends the controller's mutable state — per-bank row/timing
+// state, the pending request queue, activation bookkeeping, and counters —
+// to the encoder. Queued requests serialize as (Origin, Addr, Write,
+// arrival); their Done closures are rebuilt on restore.
+func (mc *Controller) Snapshot(e *snap.Encoder) {
+	e.Int(len(mc.banks))
+	for i := range mc.banks {
+		b := &mc.banks[i]
+		e.Bool(b.rowOpen)
+		e.U64(b.row)
+		e.U64(b.readyAt)
+		e.U64(b.precharged)
+	}
+	e.Int(mc.queue.Len())
+	for i := 0; i < mc.queue.Len(); i++ {
+		r := *mc.queue.At(i)
+		e.Int(r.Origin)
+		e.U64(r.Addr)
+		e.Bool(r.Write)
+		e.U64(r.arriveAt)
+	}
+	e.U64(mc.lastActivate)
+	e.Bool(mc.hasActivated)
+	e.U64(mc.served)
+	e.U64(mc.rowHits)
+	e.U64(mc.rowMisses)
+	e.U64(mc.dropped)
+}
+
+// Restore reads state written by Snapshot into a controller built from the
+// same configuration. rebuild reconstructs the Done callback of each queued
+// request from its serialized identity (the L2 partition supplies it: fills
+// reschedule into the owning slice, writebacks complete silently).
+func (mc *Controller) Restore(d *snap.Decoder, rebuild func(origin int, addr uint64, write bool) func(now uint64)) error {
+	nb := d.Len()
+	if d.Err() == nil && nb == len(mc.banks) {
+		for i := range mc.banks {
+			b := &mc.banks[i]
+			b.rowOpen = d.Bool()
+			b.row = d.U64()
+			b.readyAt = d.U64()
+			b.precharged = d.U64()
+		}
+	} else if d.Err() == nil {
+		return badBankCount(nb, len(mc.banks))
+	}
+	for mc.queue.Len() > 0 {
+		mc.queue.Pop()
+	}
+	nq := d.Len()
+	for i := 0; i < nq; i++ {
+		r := &Request{}
+		r.Origin = d.Int()
+		r.Addr = d.U64()
+		r.Write = d.Bool()
+		r.arriveAt = d.U64()
+		r.Done = rebuild(r.Origin, r.Addr, r.Write)
+		mc.queue.Push(r)
+	}
+	mc.lastActivate = d.U64()
+	mc.hasActivated = d.Bool()
+	mc.served = d.U64()
+	mc.rowHits = d.U64()
+	mc.rowMisses = d.U64()
+	mc.dropped = d.U64()
+	return d.Err()
+}
+
+// badBankCount reports a bank-count mismatch as snapshot corruption.
+func badBankCount(got, want int) error {
+	return snap.Corruptf("snapshot holds %d DRAM banks, controller has %d", got, want)
+}

@@ -54,6 +54,9 @@ type Result struct {
 	// TelemetryEvents holds the runner-level detector's events; see
 	// TelemetryWindows.
 	TelemetryEvents []telemetry.Event
+	// Cached reports that the result was served from the Runner's result
+	// cache without simulating (Cycles then reports the cold run's count).
+	Cached bool
 }
 
 // Runner fans experiments out over a bounded worker pool. The zero value
@@ -69,8 +72,21 @@ type Runner struct {
 	// order.
 	Options Options
 	// Check also applies each experiment's Check function, folding a
-	// failure into Result.Err.
+	// failure into Result.Err. Check is re-applied to cache hits, so a
+	// cached figure that no longer satisfies its invariant still fails.
 	Check bool
+	// Cache, when non-nil with a directory set, serves repeated
+	// (config, seed, experiment, scale) runs from disk and stores fresh
+	// successful results. Failures are never cached.
+	Cache *Cache
+	// ConfigName names the base configuration in cache keys ("small",
+	// "volta"); informational but part of the key.
+	ConfigName string
+	// OnMeter, when set, is called at the start of each experiment run
+	// (from the worker goroutine) with the experiment id and its private
+	// cycle meter, which the caller may poll concurrently for progress.
+	// It is not called for cache hits.
+	OnMeter func(id string, meter *config.CycleMeter)
 }
 
 // Run executes the experiments named by ids (every registered experiment
@@ -140,9 +156,33 @@ func (r *Runner) Run(cfg *config.Config, ids []string) ([]Result, error) {
 // seed, and cycle meter.
 func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 	seed := DeriveSeed(r.Options.seed(), e.ID)
+	key := NewCacheKey(cfg, r.ConfigName, r.Options, e.ID)
+	if ent, ok := r.Cache.Get(key); ok {
+		res := Result{
+			Experiment:       e,
+			Seed:             seed,
+			Figure:           ent.Figure,
+			Cycles:           ent.Cycles,
+			Metrics:          ent.Metrics,
+			TelemetryWindows: ent.TelemetryWindows,
+			TelemetryEvents:  ent.TelemetryEvents,
+			Cached:           true,
+		}
+		if r.Check && e.Check != nil {
+			cc := *cfg
+			cc.Seed = seed
+			if cerr := e.Check(&cc, ent.Figure); cerr != nil {
+				res.Err = fmt.Errorf("check failed on cached result: %w", cerr)
+			}
+		}
+		return res
+	}
 	c := *cfg
 	c.Seed = seed
 	c.Meter = &config.CycleMeter{}
+	if r.OnMeter != nil {
+		r.OnMeter(e.ID, c.Meter)
+	}
 	if r.Options.Metrics {
 		c.Probes = probe.NewRegistry()
 	}
@@ -182,6 +222,17 @@ func (r *Runner) runOne(cfg *config.Config, e Experiment) Result {
 		res.TelemetryWindows = telRec.Windows()
 		res.TelemetryEvents = telDet.Events()
 	}
+	if res.Err == nil && r.Cache != nil {
+		// A failed Put (full disk, unwritable dir) costs only the cache.
+		_ = r.Cache.Put(&Entry{
+			Key:              key,
+			Figure:           res.Figure,
+			Cycles:           res.Cycles,
+			Metrics:          res.Metrics,
+			TelemetryWindows: res.TelemetryWindows,
+			TelemetryEvents:  res.TelemetryEvents,
+		})
+	}
 	return res
 }
 
@@ -219,6 +270,11 @@ func Summary(results []Result) string {
 	failed := 0
 	for _, res := range results {
 		status := "ok"
+		if res.Cached {
+			// Cycles on a cached row is the cold run's count; no new
+			// simulation happened, which is exactly what the status says.
+			status = "cached"
+		}
 		if res.Err != nil {
 			status = "FAILED"
 			failed++

@@ -218,6 +218,7 @@ func engineAndBelow() []string {
 		"internal/ring",
 		"internal/sched",
 		"internal/sm",
+		"internal/snap",
 		"internal/stats",
 		"internal/tbsched",
 		"internal/telemetry",
@@ -248,10 +249,14 @@ func DefaultRules() *Rules {
 					"internal/reveng",
 				},
 
-				// Leaves: no module-local imports at all.
-				"internal/packet": {},
+				// Leaves: no module-local imports at all. snap is the
+				// checkpoint codec — beneath everything it serializes, so
+				// every stateful component can declare its own Snapshot/
+				// Restore without a layering cycle.
+				"internal/packet": {"internal/snap"},
 				"internal/ring":   {},
 				"internal/sched":  {},
+				"internal/snap":   {},
 				"internal/stats":  {},
 				"internal/warp":   {},
 
@@ -261,32 +266,34 @@ func DefaultRules() *Rules {
 				// probe snapshots into windows and sits just below config so
 				// a Sampler can travel inside a Config the way the Registry
 				// does.
-				"internal/probe":     {"internal/stats"},
-				"internal/telemetry": {"internal/probe", "internal/stats"},
+				"internal/probe":     {"internal/snap", "internal/stats"},
+				"internal/telemetry": {"internal/probe", "internal/snap", "internal/stats"},
 				"internal/config":    {"internal/probe", "internal/telemetry"},
 
 				// Substrate: config/packet only, plus documented edges
-				// (probe is reachable from everything holding a Config).
-				"internal/arb":      {"internal/config", "internal/packet", "internal/probe"},
-				"internal/cache":    {"internal/config", "internal/packet", "internal/probe"},
+				// (probe is reachable from everything holding a Config, and
+				// snap from everything that snapshots).
+				"internal/arb":      {"internal/config", "internal/packet", "internal/probe", "internal/snap"},
+				"internal/cache":    {"internal/config", "internal/packet", "internal/probe", "internal/snap"},
 				"internal/clockreg": {"internal/config"},
-				"internal/device":   {"internal/warp"},
-				"internal/dram":     {"internal/config", "internal/probe", "internal/ring"},
-				"internal/tbsched":  {"internal/config"},
-				"internal/link":     {"internal/arb", "internal/config", "internal/packet", "internal/probe", "internal/ring"},
+				"internal/device":   {"internal/snap", "internal/warp"},
+				"internal/dram":     {"internal/config", "internal/probe", "internal/ring", "internal/snap"},
+				"internal/tbsched":  {"internal/config", "internal/snap"},
+				"internal/link":     {"internal/arb", "internal/config", "internal/packet", "internal/probe", "internal/ring", "internal/snap"},
 				"internal/noc": {
 					"internal/arb", "internal/config", "internal/link",
 					"internal/packet", "internal/probe", "internal/sched",
+					"internal/snap",
 				},
 				"internal/mem": {
 					"internal/cache", "internal/config", "internal/dram",
 					"internal/packet", "internal/probe", "internal/ring",
-					"internal/sched",
+					"internal/sched", "internal/snap",
 				},
 				"internal/sm": {
 					"internal/cache", "internal/clockreg", "internal/config",
 					"internal/device", "internal/packet", "internal/probe",
-					"internal/ring", "internal/warp",
+					"internal/ring", "internal/snap", "internal/warp",
 				},
 
 				// Background-traffic generators: programs stepped inside the
@@ -302,7 +309,7 @@ func DefaultRules() *Rules {
 					"internal/clockreg", "internal/config", "internal/device",
 					"internal/mem", "internal/noc", "internal/packet",
 					"internal/probe", "internal/sched", "internal/sm",
-					"internal/tbsched", "internal/telemetry",
+					"internal/snap", "internal/tbsched", "internal/telemetry",
 				},
 
 				// The multi-GPU mesh: N engines under one global clock,
@@ -312,6 +319,7 @@ func DefaultRules() *Rules {
 				"internal/mesh": {
 					"internal/arb", "internal/config", "internal/device",
 					"internal/engine", "internal/link", "internal/packet",
+					"internal/snap",
 				},
 
 				// The attack, prior-work channels, and reverse engineering.
@@ -333,6 +341,14 @@ func DefaultRules() *Rules {
 					"internal/device", "internal/engine", "internal/mesh",
 					"internal/noise", "internal/probe", "internal/reveng",
 					"internal/stats", "internal/telemetry", "internal/warp",
+				},
+
+				// The simulation service: an HTTP face over the experiment
+				// harness and its result cache. It sits beside the cmd roots
+				// conceptually but is a library (so it can be tested with
+				// httptest), and it never reaches below experiments.
+				"internal/server": {
+					"internal/config", "internal/experiments",
 				},
 
 				// Tooling: stdlib only, outside the simulator entirely.

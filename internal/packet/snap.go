@@ -1,0 +1,44 @@
+package packet
+
+import "gpunoc/internal/snap"
+
+// Encode appends every field of a packet to the snapshot encoder. Packets
+// are threaded by pointer but each lives in exactly one container at a
+// time, so containers serialize their packets by value in place.
+func Encode(e *snap.Encoder, p *Packet) {
+	e.U64(p.ID)
+	e.U8(uint8(p.Kind))
+	e.Int(p.Tag.SM)
+	e.Int(p.Tag.Warp)
+	e.U64(p.Tag.Op)
+	e.U64(p.Addr)
+	e.Int(p.Slice)
+	e.Int(p.SrcSM)
+	e.Int(p.SrcDev)
+	e.Int(p.DstDev)
+	e.U64(p.IssueCycle)
+	e.U64(p.SliceCycle)
+	e.U64(p.DeliverCycle)
+	e.Bool(p.BypassL1)
+}
+
+// Decode reads a packet previously written by Encode into a fresh
+// allocation.
+func Decode(d *snap.Decoder) *Packet {
+	p := &Packet{}
+	p.ID = d.U64()
+	p.Kind = Kind(d.U8())
+	p.Tag.SM = d.Int()
+	p.Tag.Warp = d.Int()
+	p.Tag.Op = d.U64()
+	p.Addr = d.U64()
+	p.Slice = d.Int()
+	p.SrcSM = d.Int()
+	p.SrcDev = d.Int()
+	p.DstDev = d.Int()
+	p.IssueCycle = d.U64()
+	p.SliceCycle = d.U64()
+	p.DeliverCycle = d.U64()
+	p.BypassL1 = d.Bool()
+	return p
+}

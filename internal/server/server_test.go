@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"gpunoc/internal/config"
+	"gpunoc/internal/experiments"
+)
+
+// testHarness is one server under httptest plus a call counter proving
+// whether a submission actually simulated.
+type testHarness struct {
+	srv   *Server
+	http  *httptest.Server
+	calls *atomic.Int64
+}
+
+// newHarness builds a server over a fake one-experiment registry whose run
+// function counts invocations.
+func newHarness(t *testing.T, fail bool) *testHarness {
+	t.Helper()
+	var calls atomic.Int64
+	reg := experiments.NewRegistry()
+	reg.MustRegister(experiments.Experiment{
+		ID: "probe-exp", Order: 0, Title: "fake", Section: "test",
+		Run: func(cfg *config.Config, opt experiments.Options) (*experiments.Figure, error) {
+			calls.Add(1)
+			if fail {
+				return nil, fmt.Errorf("deliberate failure")
+			}
+			cfg.Meter.Add(250)
+			return &experiments.Figure{
+				ID: "probe-exp", Title: "fake",
+				Header: []string{"seed"},
+				Rows:   [][]string{{fmt.Sprintf("%d", opt.Seed)}},
+			}, nil
+		},
+	})
+	s, err := New(Config{
+		Cache:    &experiments.Cache{Dir: t.TempDir()},
+		Workers:  2,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return &testHarness{srv: s, http: hs, calls: &calls}
+}
+
+// submit POSTs a job and decodes the status.
+func (h *testHarness) submit(t *testing.T, req JobRequest) (JobStatus, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(h.http.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return st, resp.StatusCode
+}
+
+// poll GETs a job status by key until it reaches a terminal state.
+func (h *testHarness) poll(t *testing.T, key string) JobStatus {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		resp, err := http.Get(h.http.URL + "/v1/jobs/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+	}
+	t.Fatal("job did not finish")
+	return JobStatus{}
+}
+
+// TestServerServesRepeatedJobFromCache is the acceptance test: the second
+// submission of an identical job must be a synchronous cache hit — 200,
+// cached:true, identical report — without simulating again.
+func TestServerServesRepeatedJobFromCache(t *testing.T) {
+	h := newHarness(t, false)
+	req := JobRequest{Config: "small", Seed: 5, Experiment: "probe-exp"}
+
+	st, code := h.submit(t, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("cold submission: status %d, want 202", code)
+	}
+	if st.Cached {
+		t.Fatal("cold submission marked cached")
+	}
+	final := h.poll(t, st.Key)
+	if final.State != "done" {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	if h.calls.Load() != 1 {
+		t.Fatalf("cold job simulated %d times, want 1", h.calls.Load())
+	}
+	if final.Report == "" || final.Cycles != 250 {
+		t.Fatalf("unexpected final status: %+v", final)
+	}
+
+	warm, code := h.submit(t, req)
+	if code != http.StatusOK {
+		t.Fatalf("warm submission: status %d, want 200", code)
+	}
+	if !warm.Cached || warm.State != "done" {
+		t.Fatalf("warm submission not a cache hit: %+v", warm)
+	}
+	if warm.Report != final.Report {
+		t.Fatalf("cached report differs:\ncached: %q\nlive:   %q", warm.Report, final.Report)
+	}
+	if warm.Cycles != final.Cycles {
+		t.Fatalf("cached cycles %d, live %d", warm.Cycles, final.Cycles)
+	}
+	if h.calls.Load() != 1 {
+		t.Fatalf("warm submission re-simulated: %d executions", h.calls.Load())
+	}
+
+	// A different seed is a different key: it must queue, not hit.
+	req.Seed = 6
+	st2, code := h.submit(t, req)
+	if code != http.StatusAccepted || st2.Key == st.Key {
+		t.Fatalf("seed change served from cache: code %d key %s", code, st2.Key)
+	}
+	if h.poll(t, st2.Key).State != "done" {
+		t.Fatal("second job did not finish")
+	}
+	if h.calls.Load() != 2 {
+		t.Fatalf("seed change executed %d total, want 2", h.calls.Load())
+	}
+}
+
+// TestServerCoalescesConcurrentSubmissions pins the dedupe: resubmitting a
+// key already queued or running returns the same job, never a second one.
+func TestServerCoalescesConcurrentSubmissions(t *testing.T) {
+	h := newHarness(t, false)
+	req := JobRequest{Config: "small", Seed: 7, Experiment: "probe-exp"}
+	a, _ := h.submit(t, req)
+	b, _ := h.submit(t, req)
+	if a.Key != b.Key {
+		t.Fatalf("same request got two jobs: %s vs %s", a.Key, b.Key)
+	}
+	h.poll(t, a.Key)
+	if n := h.calls.Load(); n != 1 {
+		t.Fatalf("coalesced job simulated %d times, want 1", n)
+	}
+}
+
+// TestServerFailedJobsAreRetriable pins that failures are never cached: a
+// failed job reports its error, and resubmission runs again.
+func TestServerFailedJobsAreRetriable(t *testing.T) {
+	h := newHarness(t, true)
+	req := JobRequest{Config: "small", Seed: 5, Experiment: "probe-exp"}
+	st, _ := h.submit(t, req)
+	final := h.poll(t, st.Key)
+	if final.State != "failed" || final.Error == "" {
+		t.Fatalf("want failed state with error, got %+v", final)
+	}
+	st2, code := h.submit(t, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmission of failed job: status %d, want 202", code)
+	}
+	if h.poll(t, st2.Key).State != "failed" {
+		t.Fatal("retried job did not run")
+	}
+	if n := h.calls.Load(); n != 2 {
+		t.Fatalf("failed job ran %d times across two submissions, want 2", n)
+	}
+}
+
+// TestServerRejectsBadRequests pins the 400s: unknown config, unknown
+// experiment, bad scale, and undecodable bodies all fail fast.
+func TestServerRejectsBadRequests(t *testing.T) {
+	h := newHarness(t, false)
+	cases := []JobRequest{
+		{Config: "nope", Experiment: "probe-exp"},
+		{Config: "small", Experiment: "nope"},
+		{Config: "small", Experiment: "probe-exp", Scale: "huge"},
+	}
+	for _, req := range cases {
+		if _, code := h.submit(t, req); code != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", req, code)
+		}
+	}
+	resp, err := http.Post(h.http.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated body: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(h.http.URL + "/v1/jobs/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerHealthz pins the liveness endpoint.
+func TestServerHealthz(t *testing.T) {
+	h := newHarness(t, false)
+	resp, err := http.Get(h.http.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", resp.StatusCode)
+	}
+	var body map[string]bool
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body["ok"] {
+		t.Fatalf("healthz body %v", body)
+	}
+}
+
+// TestServerRequiresCache pins the constructor contract.
+func TestServerRequiresCache(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+	if _, err := New(Config{Cache: &experiments.Cache{}}); err == nil {
+		t.Fatal("empty cache dir accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"gpunoc/internal/packet"
 	"gpunoc/internal/probe"
 	"gpunoc/internal/ring"
+	"gpunoc/internal/snap"
 	"gpunoc/internal/warp"
 )
 
@@ -47,7 +48,8 @@ type SM struct {
 	rrNext       int
 	nextInjectAt uint64
 	rng          *rand.Rand
-	wake         func() // activity wake edge (see SetWaker); nil outside a scheduler
+	src          *snap.CountingSource // rng's source; snapshots as a draw count
+	wake         func()               // activity wake edge (see SetWaker); nil outside a scheduler
 
 	// l1 is the per-SM unified L1; loads not compiled with the -dlcm=cg
 	// analogue are serviced here first. Writes are write-through and
@@ -89,6 +91,7 @@ func New(id int, cfg *config.Config, clocks *clockreg.Bank, inject Inject) (*SM,
 	if err != nil {
 		return nil, err
 	}
+	src := snap.NewCountingSource(cfg.Seed ^ (int64(id)+1)*104729)
 	s := &SM{
 		id:       id,
 		cfg:      cfg,
@@ -96,7 +99,8 @@ func New(id int, cfg *config.Config, clocks *clockreg.Bank, inject Inject) (*SM,
 		inject:   inject,
 		l1:       l1,
 		l1HitLat: 28,
-		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(id)+1)*104729)),
+		rng:      rand.New(src),
+		src:      src,
 	}
 	if r := cfg.Probes; r != nil {
 		prefix := fmt.Sprintf("sm%d", id)

@@ -1,0 +1,137 @@
+// Checkpoint support for the SM: resident warps (including each warp's
+// program, serialized through device.Checkpointable), the LSU pending ring
+// and injection pacing, locally-completing L1 hits in flight, the jitter RNG
+// position, counters, and the L1 cache. Wiring (clock bank, inject sink,
+// probes) is rebuilt from configuration by the restoring side.
+package sm
+
+import (
+	"fmt"
+
+	"gpunoc/internal/device"
+	"gpunoc/internal/packet"
+	"gpunoc/internal/snap"
+	"gpunoc/internal/warp"
+)
+
+// Snapshot appends the SM's mutable state to the encoder. It fails with a
+// wrapped device.ErrNotCheckpointable if any resident warp runs a program
+// that cannot be serialized (a StepFunc closure).
+func (s *SM) Snapshot(e *snap.Encoder) error {
+	e.Mark("sm")
+	e.Int(s.id)
+	e.Int(len(s.warps))
+	for _, r := range s.warps {
+		e.Bool(r != nil)
+		if r == nil {
+			continue
+		}
+		cp, ok := r.prog.(device.Checkpointable)
+		if !ok {
+			return fmt.Errorf("sm %d kernel %d block %d warp %d: %w",
+				s.id, r.kernel, r.block, r.warpID, device.ErrNotCheckpointable)
+		}
+		e.String(cp.CheckpointID())
+		cp.MarshalState(e)
+		e.Int(r.kernel)
+		e.Int(r.block)
+		e.Int(r.warpID)
+		e.Bool(r.started)
+		e.Int(r.w.ID)
+		e.Int(int(r.w.State))
+		e.Int(r.w.Outstanding)
+		e.U64(r.w.OpSeq)
+		e.U64(r.w.OpStart)
+		e.U64(r.w.WakeAt)
+		e.U64(r.w.LastLatency)
+	}
+	e.Int(s.pending.Len())
+	for i := 0; i < s.pending.Len(); i++ {
+		packet.Encode(e, *s.pending.At(i))
+	}
+	e.Int(s.outstanding)
+	e.U64(s.nextPktID)
+	e.Int(s.rrNext)
+	e.U64(s.nextInjectAt)
+	e.U64(s.src.Draws())
+	e.Int(s.l1Hits.Len())
+	for i := 0; i < s.l1Hits.Len(); i++ {
+		h := s.l1Hits.At(i)
+		e.U64(h.at)
+		e.Int(h.warp)
+		e.U64(h.op)
+	}
+	e.U64(s.injected)
+	e.U64(s.replies)
+	e.U64(s.opsCompleted)
+	s.l1.Snapshot(e)
+	return nil
+}
+
+// Restore reads state written by Snapshot into an SM built from the same
+// configuration. progs maps checkpoint ids to program factories; the factory
+// may capture the instance it returns (the CLI does, to read per-warp clocks
+// after the run). A snapshot naming a program id with no factory fails.
+func (s *SM) Restore(d *snap.Decoder, progs map[string]func() device.Checkpointable) error {
+	d.Expect("sm")
+	if id := d.Int(); d.Err() == nil && id != s.id {
+		return snap.Corruptf("snapshot of SM %d restored into SM %d", id, s.id)
+	}
+	n := d.Len()
+	s.warps = make([]*resident, n)
+	for i := 0; i < n; i++ {
+		if !d.Bool() {
+			continue
+		}
+		id := d.String()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		factory, ok := progs[id]
+		if !ok {
+			return fmt.Errorf("sm %d: snapshot names program %q but RestoreOptions.Programs has no factory for it", s.id, id)
+		}
+		prog := factory()
+		prog.UnmarshalState(d)
+		r := &resident{prog: prog}
+		r.kernel = d.Int()
+		r.block = d.Int()
+		r.warpID = d.Int()
+		r.started = d.Bool()
+		r.w.ID = d.Int()
+		r.w.State = warp.State(d.Int())
+		r.w.Outstanding = d.Int()
+		r.w.OpSeq = d.U64()
+		r.w.OpStart = d.U64()
+		r.w.WakeAt = d.U64()
+		r.w.LastLatency = d.U64()
+		s.warps[i] = r
+	}
+	for s.pending.Len() > 0 {
+		s.pending.Pop()
+	}
+	np := d.Len()
+	for i := 0; i < np; i++ {
+		s.pending.Push(packet.Decode(d))
+	}
+	s.outstanding = d.Int()
+	s.nextPktID = d.U64()
+	s.rrNext = d.Int()
+	s.nextInjectAt = d.U64()
+	s.src.SeekTo(d.U64())
+	for s.l1Hits.Len() > 0 {
+		s.l1Hits.Pop()
+	}
+	nh := d.Len()
+	for i := 0; i < nh; i++ {
+		var h l1Hit
+		h.at = d.U64()
+		h.warp = d.Int()
+		h.op = d.U64()
+		s.l1Hits.Push(h)
+	}
+	s.injected = d.U64()
+	s.replies = d.U64()
+	s.opsCompleted = d.U64()
+	return s.l1.Restore(d)
+}

@@ -1,0 +1,55 @@
+package snap
+
+import "math/rand"
+
+// CountingSource wraps math/rand's seeded source and counts raw 64-bit
+// draws. Because every RNG stream in the simulator is derived from a seed
+// that is itself derivable from the configuration, the stream's position
+// snapshots as a single number: restore rebuilds the source from the same
+// seed and discards the counted draws.
+type CountingSource struct {
+	src  rand.Source64
+	seed int64
+	n    uint64
+}
+
+// NewCountingSource returns a counting source seeded like
+// rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 draws 63 uniform bits, counting one draw.
+func (s *CountingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 draws 64 uniform bits, counting one draw.
+func (s *CountingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the draw count.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed = seed
+	s.n = 0
+}
+
+// Draws returns the number of raw draws made so far; this is the stream's
+// snapshot state.
+func (s *CountingSource) Draws() uint64 { return s.n }
+
+// SeekTo advances a freshly seeded source until exactly n draws have been
+// made, restoring the stream position recorded by Draws. It reseeds with
+// the construction seed first, so it is safe to call on a source that has
+// already been used.
+func (s *CountingSource) SeekTo(n uint64) {
+	s.Seed(s.seed)
+	for s.n < n {
+		s.src.Uint64()
+		s.n++
+	}
+}

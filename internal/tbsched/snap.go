@@ -1,0 +1,24 @@
+package tbsched
+
+import "gpunoc/internal/snap"
+
+// Snapshot appends the scheduler's mutable state (per-SM resident block
+// counts; the visit order is derived from configuration) to the encoder.
+func (s *Scheduler) Snapshot(e *snap.Encoder) {
+	e.Int(len(s.load))
+	for _, n := range s.load {
+		e.Int(n)
+	}
+}
+
+// Restore reads state written by Snapshot into a scheduler built from the
+// same configuration.
+func (s *Scheduler) Restore(d *snap.Decoder) error {
+	if n := d.Int(); d.Err() == nil && n != len(s.load) {
+		return snap.Corruptf("snapshot holds %d SM loads, scheduler has %d", n, len(s.load))
+	}
+	for i := range s.load {
+		s.load[i] = d.Int()
+	}
+	return d.Err()
+}
